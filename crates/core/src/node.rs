@@ -1,0 +1,1426 @@
+//! A CCF node: the composition of store, ledger, consensus, TEE and
+//! governance into one unit of the service (paper Figure 2).
+//!
+//! The node is internally synchronized: request execution reads from
+//! lock-free store snapshots, while a single commit lock serializes
+//! OCC validation → consensus proposal → uniform state application. All
+//! state mutation flows through consensus [`Event`]s — the primary applies
+//! its own entries through exactly the same path backups use, which is
+//! what makes rollback after view changes (and snapshot install) a matter
+//! of restoring an earlier CHAMP snapshot.
+
+use crate::app::{
+    split_query, AppError, Application, AuthPolicy, Caller, EndpointContext, Request, Response,
+    ScriptApp,
+};
+use crate::indexer::{Indexer, KeyToTxIds};
+use ccf_consensus::harness::KeyedSignatureFactory;
+use ccf_consensus::message::{Message, ReplicatedEntry};
+use ccf_consensus::replica::{Event, ProposeError, Replica, ReplicaConfig, Role};
+use ccf_consensus::{NodeId, Seqno, Snapshot, TxStatus};
+use ccf_crypto::chacha::ChaChaRng;
+use ccf_crypto::sha2::sha256;
+use ccf_crypto::x25519::DhKeyPair;
+use ccf_crypto::{SigningKey, VerifyingKey};
+use ccf_governance::actions::{put_node_info, trusted_nodes, NodeInfo};
+use ccf_governance::engine::requests;
+use ccf_governance::recovery::write_recovery_material;
+use ccf_governance::{
+    Ballot, DefaultConstitution, GovernanceEngine, NodeStatus, Proposal, ScriptConstitution,
+    ServiceStatus, SignedRequest,
+};
+use ccf_kv::store::StoreState;
+use ccf_kv::{builtin, MapName, Store, Transaction, WriteSet};
+use ccf_ledger::entry::EntryKind;
+use ccf_ledger::files::LedgerWriter;
+use ccf_ledger::receipt::endorsement_bytes;
+use ccf_ledger::secrets::LedgerSecrets;
+use ccf_ledger::{LedgerEntry, Receipt, SignaturePayload, TxId};
+use ccf_tee::attestation::{AttestationReport, CodeId};
+use ccf_tee::TeePlatform;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn map(name: &str) -> MapName {
+    MapName::new(name)
+}
+
+/// Node construction options.
+#[derive(Clone)]
+pub struct NodeOpts {
+    /// The node's identifier.
+    pub id: NodeId,
+    /// Consensus timing/batching.
+    pub consensus: ReplicaConfig,
+    /// TEE platform (virtual vs simulated SGX).
+    pub platform: TeePlatform,
+    /// Seed for all node-local randomness.
+    pub seed: u64,
+    /// Produce a snapshot every this many committed entries (0 = never).
+    pub snapshot_interval: u64,
+    /// Max OCC retries before giving up on a conflicted request.
+    pub max_occ_retries: u32,
+}
+
+impl Default for NodeOpts {
+    fn default() -> Self {
+        NodeOpts {
+            id: "n0".to_string(),
+            consensus: ReplicaConfig::default(),
+            platform: TeePlatform::Virtual,
+            seed: 0,
+            snapshot_interval: 0,
+            max_occ_retries: 8,
+        }
+    }
+}
+
+/// Secrets handed to a joining node after its attestation verifies
+/// (Table 1: service key + ledger secret go to *trusted* nodes only; in
+/// production over an attested TLS channel, here via `ccf-tee` channels
+/// or directly in the in-process harness).
+#[derive(Clone, Debug)]
+pub struct ServiceSecrets {
+    /// The service identity private key seed.
+    pub service_key_seed: [u8; 32],
+    /// Serialized ledger secrets.
+    pub ledger_secrets: Vec<u8>,
+}
+
+/// A join request from a new node (§4.4, §5.1).
+#[derive(Clone)]
+pub struct JoinRequest {
+    /// The joining node's id.
+    pub node_id: NodeId,
+    /// Attestation report; report data binds the node's keys.
+    pub report: AttestationReport,
+    /// The node's identity public key.
+    pub node_public: VerifyingKey,
+    /// The node's X25519 encryption key.
+    pub enc_public: [u8; 32],
+}
+
+impl JoinRequest {
+    /// What the report data must equal: a digest over both public keys.
+    pub fn expected_report_data(node_public: &VerifyingKey, enc_public: &[u8; 32]) -> [u8; 32] {
+        let mut buf = Vec::with_capacity(64);
+        buf.extend_from_slice(&node_public.0);
+        buf.extend_from_slice(enc_public);
+        sha256(&buf)
+    }
+}
+
+struct NodeInner {
+    replica: Replica<KeyedSignatureFactory>,
+    secrets: Option<LedgerSecrets>,
+    service_identity: Option<VerifyingKey>,
+    service_key: Option<SigningKey>,
+    ledger_writer: LedgerWriter,
+    recent_states: BTreeMap<Seqno, Arc<StoreState>>,
+    indexer: Indexer,
+    gov: GovernanceEngine,
+    rng: ChaChaRng,
+    script_app: Option<Arc<ScriptApp>>,
+    script_app_version: u64,
+    last_applied: TxId,
+    commits_since_snapshot: u64,
+    retired: bool,
+    handled_rekey: Option<Vec<u8>>,
+    /// Monotonic count of primary changes (terminates forwarded sessions).
+    view_epoch: u64,
+}
+
+/// A CCF node.
+pub struct CcfNode {
+    /// Node id.
+    pub id: NodeId,
+    opts: NodeOpts,
+    app: Arc<Application>,
+    store: Store,
+    inner: Mutex<NodeInner>,
+    // Read-path state kept outside the commit lock so the read-only fast
+    // path (§3.4) never contends with replication.
+    last_applied_view: std::sync::atomic::AtomicU64,
+    last_applied_seqno: std::sync::atomic::AtomicU64,
+    script_app_cache: parking_lot::RwLock<Option<Arc<ScriptApp>>>,
+    node_key: SigningKey,
+    dh_key: DhKeyPair,
+    code_id: CodeId,
+}
+
+impl CcfNode {
+    /// Creates a node that is the first node of a brand-new service.
+    pub fn new_start_node(opts: NodeOpts, app: Arc<Application>) -> Arc<CcfNode> {
+        let mut rng = ChaChaRng::seed_from_u64(opts.seed ^ 0xCCF);
+        let node_key = SigningKey::generate(&mut rng);
+        let dh_key = DhKeyPair::generate(&mut rng);
+        let code_id = CodeId::measure(app.code_version.as_bytes());
+        let factory = KeyedSignatureFactory::new(opts.id.clone(), node_key.clone());
+        let replica = Replica::new(
+            opts.id.clone(),
+            [opts.id.clone()].into_iter().collect(),
+            opts.consensus.clone(),
+            opts.seed,
+            factory,
+        );
+        Arc::new(CcfNode {
+            id: opts.id.clone(),
+            app,
+            store: Store::new(),
+            inner: Mutex::new(NodeInner {
+                replica,
+                secrets: None,
+                service_identity: None,
+                service_key: None,
+                ledger_writer: LedgerWriter::new(),
+                recent_states: BTreeMap::new(),
+                indexer: Indexer::new(),
+                gov: GovernanceEngine::new(Box::new(DefaultConstitution)),
+                rng,
+                script_app: None,
+                script_app_version: 0,
+                last_applied: TxId::ZERO,
+                commits_since_snapshot: 0,
+                retired: false,
+                handled_rekey: None,
+                view_epoch: 0,
+            }),
+            last_applied_view: std::sync::atomic::AtomicU64::new(0),
+            last_applied_seqno: std::sync::atomic::AtomicU64::new(0),
+            script_app_cache: parking_lot::RwLock::new(None),
+            node_key,
+            dh_key,
+            code_id,
+            opts,
+        })
+    }
+
+    /// Creates a joining node (PENDING), optionally from a snapshot copied
+    /// over by the operator (§4.4, Figure 9's step B).
+    pub fn new_joining_node(
+        opts: NodeOpts,
+        app: Arc<Application>,
+        snapshot: Option<Snapshot>,
+    ) -> Arc<CcfNode> {
+        let mut rng = ChaChaRng::seed_from_u64(opts.seed ^ 0xCCF);
+        let node_key = SigningKey::generate(&mut rng);
+        let dh_key = DhKeyPair::generate(&mut rng);
+        let code_id = CodeId::measure(app.code_version.as_bytes());
+        let factory = KeyedSignatureFactory::new(opts.id.clone(), node_key.clone());
+        let replica = Replica::join(
+            opts.id.clone(),
+            opts.consensus.clone(),
+            opts.seed,
+            factory,
+            snapshot,
+        );
+        let node = Arc::new(CcfNode {
+            id: opts.id.clone(),
+            app,
+            store: Store::new(),
+            inner: Mutex::new(NodeInner {
+                replica,
+                secrets: None,
+                service_identity: None,
+                service_key: None,
+                ledger_writer: LedgerWriter::new(),
+                recent_states: BTreeMap::new(),
+                indexer: Indexer::new(),
+                gov: GovernanceEngine::new(Box::new(DefaultConstitution)),
+                rng,
+                script_app: None,
+                script_app_version: 0,
+                last_applied: TxId::ZERO,
+                commits_since_snapshot: 0,
+                retired: false,
+                handled_rekey: None,
+                view_epoch: 0,
+            }),
+            last_applied_view: std::sync::atomic::AtomicU64::new(0),
+            last_applied_seqno: std::sync::atomic::AtomicU64::new(0),
+            script_app_cache: parking_lot::RwLock::new(None),
+            node_key,
+            dh_key,
+            code_id,
+            opts,
+        });
+        // Process the boot snapshot events (install kv state).
+        {
+            let mut inner = node.inner.lock();
+            node.handle_events(&mut inner);
+        }
+        node
+    }
+
+    // ------------------------------------------------------------------
+    // Identity & attestation
+    // ------------------------------------------------------------------
+
+    /// This node's identity public key.
+    pub fn node_public(&self) -> VerifyingKey {
+        self.node_key.verifying_key()
+    }
+
+    /// This node's encryption public key.
+    pub fn enc_public(&self) -> [u8; 32] {
+        self.dh_key.public
+    }
+
+    /// This node's measured code identity.
+    pub fn code_id(&self) -> CodeId {
+        self.code_id
+    }
+
+    /// Produces this node's join request (attestation report binding its
+    /// keys, §2's remote attestation).
+    pub fn join_request(&self) -> JoinRequest {
+        let data =
+            JoinRequest::expected_report_data(&self.node_key.verifying_key(), &self.dh_key.public);
+        JoinRequest {
+            node_id: self.id.clone(),
+            report: AttestationReport::generate(self.code_id, data),
+            node_public: self.node_key.verifying_key(),
+            enc_public: self.dh_key.public,
+        }
+    }
+
+    /// The service identity, once known.
+    pub fn service_identity(&self) -> Option<VerifyingKey> {
+        self.inner.lock().service_identity.clone()
+    }
+
+    /// Installs the service secrets (join handshake, after attestation).
+    pub fn install_secrets(&self, secrets: &ServiceSecrets) {
+        let mut inner = self.inner.lock();
+        let service_key = SigningKey::from_seed(secrets.service_key_seed);
+        inner.service_identity = Some(service_key.verifying_key());
+        inner.service_key = Some(service_key);
+        inner.secrets = Some(
+            LedgerSecrets::deserialize(&secrets.ledger_secrets)
+                .expect("valid serialized ledger secrets"),
+        );
+    }
+
+    /// Exports the service secrets for a verified joiner (trusted nodes
+    /// hold the service key, Table 1).
+    pub fn export_secrets(&self) -> Option<ServiceSecrets> {
+        let inner = self.inner.lock();
+        Some(ServiceSecrets {
+            service_key_seed: inner.service_key.as_ref()?.seed(),
+            ledger_secrets: inner.secrets.as_ref()?.serialize(),
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Service genesis
+    // ------------------------------------------------------------------
+
+    /// Submits the genesis transaction. Must be called once this start
+    /// node has become primary of the single-node network. Members are
+    /// (signing key, encryption public key) pairs; users are
+    /// (user id, cert hex) pairs.
+    pub fn submit_genesis(
+        &self,
+        members: &[(VerifyingKey, [u8; 32])],
+        users: &[(String, String)],
+        constitution_script: Option<&str>,
+        recovery_threshold: usize,
+    ) -> Result<TxId, String> {
+        let mut inner = self.inner.lock();
+        assert!(inner.replica.is_primary(), "genesis requires primacy");
+        // Service identity & ledger secret are born here (Table 1).
+        let service_key = SigningKey::generate(&mut inner.rng);
+        let initial_secret = inner.rng.gen_seed();
+        let secrets = LedgerSecrets::new(initial_secret);
+        inner.service_identity = Some(service_key.verifying_key());
+        inner.service_key = Some(service_key.clone());
+        inner.secrets = Some(secrets.clone());
+
+        let mut tx = self.store.begin();
+        // Members.
+        let mut member_enc = BTreeMap::new();
+        for (signing, enc) in members {
+            let id = GovernanceEngine::genesis_add_member(&mut tx, signing, enc);
+            member_enc.insert(id, *enc);
+        }
+        // Users.
+        for (user, cert) in users {
+            tx.put(&map(builtin::USERS_CERTS), user.as_bytes(), cert.as_bytes());
+        }
+        // Constitution.
+        let constitution_src =
+            constitution_script.unwrap_or(ScriptConstitution::default_script());
+        let constitution = ScriptConstitution::new(constitution_src)
+            .map_err(|e| format!("constitution: {e}"))?;
+        tx.put(
+            &map(builtin::CONSTITUTION),
+            b"constitution",
+            constitution_src.as_bytes(),
+        );
+        inner.gov.set_constitution(Box::new(constitution));
+        // Allowed code + this node's info.
+        tx.put(
+            &map(builtin::NODES_CODE_IDS),
+            self.code_id.to_hex().as_bytes(),
+            b"AllowedToJoin",
+        );
+        put_node_info(
+            &mut tx,
+            &self.id,
+            &NodeInfo {
+                status: NodeStatus::Trusted,
+                cert: ccf_crypto::hex::to_hex(&self.node_key.verifying_key().0),
+                code_id: self.code_id.to_hex(),
+                enc_key: ccf_crypto::hex::to_hex(&self.dh_key.public),
+            },
+        );
+        // Service info: identity cert + Opening status (§5.1: a proposal
+        // must open the service before users are admitted).
+        tx.put(
+            &map(builtin::SERVICE_INFO),
+            b"cert",
+            ccf_crypto::hex::to_hex(&service_key.verifying_key().0).as_bytes(),
+        );
+        tx.put(
+            &map(builtin::SERVICE_INFO),
+            b"status",
+            ServiceStatus::Opening.as_str().as_bytes(),
+        );
+        // Recovery material (§5.2).
+        let threshold = recovery_threshold.clamp(1, member_enc.len().max(1));
+        write_recovery_material(&mut tx, &secrets, &member_enc, threshold, &mut inner.rng)
+            .map_err(|e| format!("recovery material: {e}"))?;
+        self.propose_tx(&mut inner, tx).map_err(|e| format!("genesis propose: {e}"))
+    }
+
+    // ------------------------------------------------------------------
+    // The uniform propose/apply pipeline
+    // ------------------------------------------------------------------
+
+    /// Validates `tx` and proposes its write set as a ledger entry; the
+    /// state application happens via the `Appended` event, uniformly with
+    /// backups. Caller holds the inner lock.
+    fn propose_tx(&self, inner: &mut NodeInner, tx: Transaction) -> Result<TxId, ProposeError> {
+        self.store.validate(&tx).map_err(|_| {
+            // Surface conflicts as a retryable error at the caller.
+            ProposeError::NotPrimary(None)
+        })?;
+        let (_, ws) = {
+            // Decompose without applying.
+            let ws = tx.write_set().clone();
+            (tx, ws)
+        };
+        self.propose_write_set(inner, ws, None)
+    }
+
+    /// Proposes a prepared write set with optional claims.
+    fn propose_write_set(
+        &self,
+        inner: &mut NodeInner,
+        ws: WriteSet,
+        claims: Option<Vec<u8>>,
+    ) -> Result<TxId, ProposeError> {
+        let (public_ws, private_ws) = ws.split_visibility();
+        // Reconfiguration detection: a transaction that changes the set of
+        // trusted nodes is a reconfiguration transaction (§4.4).
+        let new_config = self.config_change(inner, &ws);
+        let secrets = inner.secrets.clone();
+        let claims_digest = claims.map(|c| sha256(&c)).unwrap_or([0u8; 32]);
+        let kind = if new_config.is_some() {
+            EntryKind::Reconfiguration
+        } else {
+            EntryKind::User
+        };
+        let txid = inner.replica.propose(|txid| {
+            let public_bytes = if public_ws.is_empty() { Vec::new() } else { public_ws.encode() };
+            let private_bytes = if private_ws.is_empty() {
+                Vec::new()
+            } else {
+                let plain = private_ws.encode();
+                secrets
+                    .as_ref()
+                    .expect("cannot write private maps before secrets are installed")
+                    .encrypt(txid, &sha256(&public_bytes), &plain)
+            };
+            ReplicatedEntry {
+                entry: LedgerEntry {
+                    txid,
+                    kind,
+                    public_ws: public_bytes,
+                    private_ws_enc: private_bytes,
+                    claims_digest,
+                },
+                config: new_config.clone(),
+            }
+        })?;
+        self.handle_events(inner);
+        Ok(txid)
+    }
+
+    /// If `ws` changes `nodes.info` statuses, returns the resulting
+    /// trusted-node set (the new consensus configuration).
+    fn config_change(
+        &self,
+        _inner: &mut NodeInner,
+        ws: &WriteSet,
+    ) -> Option<std::collections::BTreeSet<NodeId>> {
+        let touches_nodes = ws.maps.get(&map(builtin::NODES_INFO)).is_some_and(|w| !w.is_empty());
+        if !touches_nodes {
+            return None;
+        }
+        // Compute the trusted set from current state + this write set.
+        let mut tx = self.store.begin();
+        for (name, writes) in &ws.maps {
+            for (k, v) in writes {
+                match v {
+                    Some(val) => tx.put(name, k, val),
+                    None => tx.remove(name, k),
+                }
+            }
+        }
+        let after = trusted_nodes(&tx);
+        // Only a *change* to the trusted set is a reconfiguration (e.g.
+        // registering a Pending node is not).
+        let before = {
+            let tx = self.store.begin();
+            trusted_nodes(&tx)
+        };
+        (after != before).then_some(after)
+    }
+
+    /// Proposes a CCF-internal transaction (recovery genesis, operator
+    /// tooling). Bypasses the reserved-map guard by design.
+    pub fn propose_internal(&self, tx: Transaction) -> Result<TxId, String> {
+        let mut inner = self.inner.lock();
+        self.store.validate(&tx).map_err(|e| e.to_string())?;
+        let ws = tx.write_set().clone();
+        self.propose_write_set(&mut inner, ws, None).map_err(|e| e.to_string())
+    }
+
+    fn publish_last_applied(&self, txid: TxId) {
+        use std::sync::atomic::Ordering;
+        self.last_applied_view.store(txid.view, Ordering::Relaxed);
+        self.last_applied_seqno.store(txid.seqno, Ordering::Relaxed);
+    }
+
+    /// The last transaction applied to this node's store (read fast path).
+    pub fn last_applied(&self) -> TxId {
+        use std::sync::atomic::Ordering;
+        TxId::new(
+            self.last_applied_view.load(Ordering::Relaxed),
+            self.last_applied_seqno.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Handles all queued consensus events. Caller holds the inner lock.
+    fn handle_events(&self, inner: &mut NodeInner) {
+        let events = inner.replica.drain_events();
+        for event in events {
+            match event {
+                Event::Appended { entry } => self.on_appended(inner, entry),
+                Event::Committed { seqno } => self.on_committed(inner, seqno),
+                Event::RolledBack { seqno } => self.on_rolled_back(inner, seqno),
+                Event::SnapshotInstalled { snapshot } => {
+                    let state = StoreState::deserialize(&snapshot.kv_state)
+                        .expect("snapshot kv state must deserialize");
+                    inner.last_applied = snapshot.last_txid;
+                    self.publish_last_applied(snapshot.last_txid);
+                    self.store.install(state);
+                    inner.recent_states.clear();
+                    inner.recent_states.insert(snapshot.last_txid.seqno, self.store.snapshot());
+                    inner.ledger_writer =
+                        LedgerWriter::starting_from(snapshot.last_txid.seqno + 1);
+                    inner.indexer.reset_to(snapshot.last_txid.seqno);
+                    self.reload_dynamic_state(inner);
+                }
+                Event::BecamePrimary { .. } | Event::BecameBackup { .. } => {
+                    inner.view_epoch += 1;
+                }
+                Event::RetirementCommitted => {
+                    inner.retired = true;
+                }
+            }
+        }
+    }
+
+    fn on_appended(&self, inner: &mut NodeInner, entry: ReplicatedEntry) {
+        let seqno = entry.entry.txid.seqno;
+        if seqno <= self.store.version() {
+            // Duplicate delivery (can happen after snapshot install).
+            return;
+        }
+        let ws = self.decode_entry_writes(inner, &entry.entry);
+        self.store.apply_at(&ws, seqno);
+        inner.last_applied = entry.entry.txid;
+        self.publish_last_applied(entry.entry.txid);
+        inner.recent_states.insert(seqno, self.store.snapshot());
+        inner.ledger_writer.append(entry.entry.clone());
+        // React to writes addressed to this node (ledger rekey dist).
+        self.check_rekey_distribution(inner, &ws, entry.entry.txid);
+        // Live app / constitution updates take effect on append (they are
+        // rolled back with the entry if it never commits, restoring the
+        // previous app on the state rollback path).
+        if ws.maps.contains_key(&map(builtin::MODULES))
+            || ws.maps.contains_key(&map(builtin::CONSTITUTION))
+        {
+            self.reload_dynamic_state(inner);
+        }
+    }
+
+    /// Decodes an entry into its full (public + decrypted private) writes.
+    fn decode_entry_writes(&self, inner: &NodeInner, entry: &LedgerEntry) -> WriteSet {
+        let mut ws = if entry.public_ws.is_empty() {
+            WriteSet::new()
+        } else {
+            WriteSet::decode(&entry.public_ws).expect("replicated entries are well-formed")
+        };
+        if !entry.private_ws_enc.is_empty() {
+            let secrets = inner
+                .secrets
+                .as_ref()
+                .expect("nodes hold ledger secrets before replicating private data");
+            let plain = secrets
+                .decrypt(entry.txid, &sha256(&entry.public_ws), &entry.private_ws_enc)
+                .expect("ledger entry decryption");
+            ws.merge(WriteSet::decode(&plain).expect("private write set decodes"));
+        }
+        ws
+    }
+
+    fn on_committed(&self, inner: &mut NodeInner, seqno: Seqno) {
+        // Feed the indexer, in order, with decrypted committed writes.
+        while inner.indexer.processed_upto() < seqno {
+            let next = inner.indexer.processed_upto() + 1;
+            let Some(entry) = inner.replica.entry_at(next).cloned() else {
+                // Entry below our snapshot base; skip forward.
+                inner.indexer.reset_to(next);
+                continue;
+            };
+            let ws = self.decode_entry_writes(inner, &entry.entry);
+            inner.indexer.feed(entry.entry.txid, &ws);
+        }
+        // Prune rollback snapshots: only seqnos >= commit can roll back.
+        let keep: BTreeMap<Seqno, Arc<StoreState>> =
+            inner.recent_states.split_off(&seqno);
+        inner.recent_states = keep;
+        // Snapshot production (§4.4).
+        inner.commits_since_snapshot += 1;
+        if self.opts.snapshot_interval > 0
+            && inner.commits_since_snapshot >= self.opts.snapshot_interval
+        {
+            inner.commits_since_snapshot = 0;
+            if let Some(state) = inner.recent_states.get(&seqno).cloned() {
+                if let Some(snapshot) =
+                    inner.replica.snapshot_descriptor(state.serialize())
+                {
+                    inner.replica.set_latest_snapshot(snapshot);
+                }
+            }
+        }
+        // Primary post-commit duties.
+        if inner.replica.is_primary() {
+            self.complete_retirements(inner);
+            self.process_rekey_request(inner);
+        }
+    }
+
+    /// §4.5 step two: once a retirement (Retiring, out of committed
+    /// config) commits, the primary records RETIRED.
+    fn complete_retirements(&self, inner: &mut NodeInner) {
+        let current_config: std::collections::BTreeSet<NodeId> = inner
+            .replica
+            .active_configs()
+            .first()
+            .map(|c| c.nodes.iter().cloned().collect())
+            .unwrap_or_default();
+        let tx = self.store.begin();
+        let mut to_retire = Vec::new();
+        tx.for_each(&map(builtin::NODES_INFO), |k, v| {
+            if let (Ok(id), Ok(text)) = (std::str::from_utf8(k), std::str::from_utf8(v)) {
+                if let Some(info) = NodeInfo::from_json(text) {
+                    if info.status == NodeStatus::Retiring && !current_config.contains(id) {
+                        to_retire.push((id.to_string(), info));
+                    }
+                }
+            }
+        });
+        if to_retire.is_empty() {
+            return;
+        }
+        let mut tx = self.store.begin();
+        for (id, mut info) in to_retire {
+            info.status = NodeStatus::Retired;
+            put_node_info(&mut tx, &id, &info);
+        }
+        let ws = tx.write_set().clone();
+        let _ = self.propose_write_set(inner, ws, None);
+    }
+
+    /// Ledger rekey (§5.2 note on rekeying): generates a fresh secret,
+    /// seals it to every trusted node, refreshes recovery shares, and
+    /// clears the request marker — all in one transaction.
+    fn process_rekey_request(&self, inner: &mut NodeInner) {
+        let mut tx = self.store.begin();
+        let marker = tx.get(&map(builtin::LEDGER_SECRET), b"rekey_requested");
+        let Some(marker) = marker else { return };
+        if inner.handled_rekey.as_deref() == Some(&marker) {
+            return;
+        }
+        inner.handled_rekey = Some(marker.clone());
+        let new_key = inner.rng.gen_seed();
+        // Seal to each trusted node's encryption key.
+        let mut dist: Vec<(String, Vec<u8>)> = Vec::new();
+        let mut enc_keys: Vec<(String, [u8; 32])> = Vec::new();
+        tx.for_each(&map(builtin::NODES_INFO), |k, v| {
+            if let (Ok(id), Ok(text)) = (std::str::from_utf8(k), std::str::from_utf8(v)) {
+                if let Some(info) = NodeInfo::from_json(text) {
+                    if matches!(info.status, NodeStatus::Trusted | NodeStatus::Pending) {
+                        if let Ok(enc) = ccf_crypto::hex::from_hex_array::<32>(&info.enc_key) {
+                            enc_keys.push((id.to_string(), enc));
+                        }
+                    }
+                }
+            }
+        });
+        for (id, enc) in enc_keys {
+            let sealed = ccf_crypto::x25519::seal_box(
+                &mut inner.rng,
+                &enc,
+                b"ccf-ledger-rekey",
+                &new_key,
+            );
+            dist.push((id, sealed));
+        }
+        for (id, sealed) in dist {
+            tx.put(&map(builtin::LEDGER_SECRET), format!("dist/{id}").as_bytes(), &sealed);
+        }
+        tx.remove(&map(builtin::LEDGER_SECRET), b"rekey_requested");
+        // Refresh recovery material under the new secret set.
+        let mut new_secrets = inner.secrets.clone().expect("primary holds secrets");
+        // The new secret applies from the seqno after this transaction.
+        let from = inner.replica.last_seqno() + 2;
+        new_secrets.rekey(from, new_key);
+        let members = {
+            let mut m = BTreeMap::new();
+            let ids = GovernanceEngine::members(&tx);
+            for id in ids {
+                if let Some(enc_hex) = tx.get(&map(builtin::MEMBERS_ENC_KEYS), id.as_bytes()) {
+                    if let Ok(enc) = ccf_crypto::hex::from_hex_array::<32>(
+                        std::str::from_utf8(&enc_hex).unwrap_or(""),
+                    ) {
+                        m.insert(id, enc);
+                    }
+                }
+            }
+            m
+        };
+        let threshold = ccf_governance::recovery::recovery_threshold(&mut tx).unwrap_or(1);
+        let _ = write_recovery_material(
+            &mut tx,
+            &new_secrets,
+            &members,
+            threshold.min(members.len().max(1)),
+            &mut inner.rng,
+        );
+        let ws = tx.write_set().clone();
+        let _ = self.propose_write_set(inner, ws, None);
+    }
+
+    /// Applies a sealed rekey distribution addressed to this node.
+    fn check_rekey_distribution(&self, inner: &mut NodeInner, ws: &WriteSet, txid: TxId) {
+        let Some(writes) = ws.maps.get(&map(builtin::LEDGER_SECRET)) else { return };
+        let key = format!("dist/{}", self.id).into_bytes();
+        if let Some(Some(sealed)) = writes.get(&key) {
+            if let Ok(new_key) =
+                ccf_crypto::x25519::open_box(&self.dh_key, b"ccf-ledger-rekey", sealed)
+            {
+                if let Ok(new_key) = <[u8; 32]>::try_from(new_key.as_slice()) {
+                    if let Some(secrets) = inner.secrets.as_mut() {
+                        // Applies from the entry after the distribution tx.
+                        secrets.rekey(txid.seqno + 1, new_key);
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_rolled_back(&self, inner: &mut NodeInner, seqno: Seqno) {
+        let state = inner
+            .recent_states
+            .get(&seqno)
+            .cloned()
+            .unwrap_or_else(|| {
+                // Rolling back to the commit point with no retained
+                // snapshot should be impossible; fall back to replay-free
+                // assertion for diagnosability.
+                panic!(
+                    "{}: no state snapshot for rollback to {seqno} (have {:?})",
+                    self.id,
+                    inner.recent_states.keys().collect::<Vec<_>>()
+                )
+            });
+        self.store.install((*state).clone());
+        inner.recent_states.retain(|s, _| *s <= seqno);
+        inner.ledger_writer.truncate(seqno);
+        inner.last_applied = inner.replica.last_txid();
+        self.publish_last_applied(inner.last_applied);
+        self.reload_dynamic_state(inner);
+    }
+
+    /// Re-derives app/constitution caches from the (possibly reverted)
+    /// store state.
+    fn reload_dynamic_state(&self, inner: &mut NodeInner) {
+        let mut tx = self.store.begin();
+        if let Some(src) = tx.get(&map(builtin::MODULES), b"app") {
+            if let Ok(app) = ScriptApp::compile(&String::from_utf8_lossy(&src)) {
+                let app = Arc::new(app);
+                inner.script_app = Some(app.clone());
+                inner.script_app_version += 1;
+                *self.script_app_cache.write() = Some(app);
+            }
+        } else {
+            inner.script_app = None;
+            *self.script_app_cache.write() = None;
+        }
+        if let Some(src) = tx.get(&map(builtin::CONSTITUTION), b"constitution") {
+            if let Ok(c) = ScriptConstitution::new(&String::from_utf8_lossy(&src)) {
+                inner.gov.set_constitution(Box::new(c));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Time & network plumbing (driven by the harness / node thread)
+    // ------------------------------------------------------------------
+
+    /// Advances consensus time; returns outbound messages.
+    pub fn tick(&self, now_ms: u64) -> Vec<(NodeId, Message)> {
+        let mut inner = self.inner.lock();
+        inner.replica.tick(now_ms);
+        self.handle_events(&mut inner);
+        inner.replica.drain_outbox()
+    }
+
+    /// Delivers a consensus message; returns outbound messages.
+    pub fn receive(&self, from: &NodeId, msg: Message) -> Vec<(NodeId, Message)> {
+        let mut inner = self.inner.lock();
+        inner.replica.receive(from, msg);
+        self.handle_events(&mut inner);
+        inner.replica.drain_outbox()
+    }
+
+    /// Changes the signature policy (benchmark parameter sweeps).
+    pub fn set_signature_policy(&self, interval: u64, interval_ms: u64) {
+        self.inner.lock().replica.set_signature_policy(interval, interval_ms);
+    }
+
+    /// Forces a signature transaction (time-based signing policy).
+    pub fn emit_signature(&self) -> Vec<(NodeId, Message)> {
+        let mut inner = self.inner.lock();
+        inner.replica.emit_signature();
+        self.handle_events(&mut inner);
+        inner.replica.drain_outbox()
+    }
+
+    /// Current consensus role.
+    pub fn role(&self) -> Role {
+        self.inner.lock().replica.role()
+    }
+
+    /// True when this node believes it is the primary.
+    pub fn is_primary(&self) -> bool {
+        self.inner.lock().replica.is_primary()
+    }
+
+    /// The primary this node would forward to (§4.3).
+    pub fn leader_hint(&self) -> Option<NodeId> {
+        self.inner.lock().replica.leader_hint().cloned()
+    }
+
+    /// Commit sequence number.
+    pub fn commit_seqno(&self) -> Seqno {
+        self.inner.lock().replica.commit_seqno()
+    }
+
+    /// Status of a transaction (Figure 4).
+    pub fn tx_status(&self, txid: TxId) -> TxStatus {
+        self.inner.lock().replica.tx_status(txid)
+    }
+
+    /// The latest snapshot produced (operators copy this to new nodes;
+    /// always computed on demand from the committed prefix).
+    pub fn latest_snapshot(&self) -> Option<Snapshot> {
+        let inner = self.inner.lock();
+        let commit = inner.replica.commit_seqno();
+        let state = inner.recent_states.get(&commit).cloned()?;
+        inner.replica.snapshot_descriptor(state.serialize())
+    }
+
+    /// Persisted ledger chunk blobs (what the host's disk holds — the
+    /// input to disaster recovery).
+    pub fn persisted_ledger(&self) -> Vec<Vec<u8>> {
+        self.inner.lock().ledger_writer.persisted_blobs()
+    }
+
+    /// Permanently stops the node (operator shutdown after retirement).
+    pub fn shutdown(&self) {
+        self.inner.lock().replica.shutdown();
+    }
+
+    /// True once this node's own retirement has committed.
+    pub fn is_retired(&self) -> bool {
+        self.inner.lock().retired
+    }
+
+    /// A counter that changes whenever this node's role changes —
+    /// sessions pinned to a forwarding target terminate when it does
+    /// (§4.3 session consistency).
+    pub fn view_epoch(&self) -> u64 {
+        self.inner.lock().view_epoch
+    }
+
+    // ------------------------------------------------------------------
+    // Join handling (primary side)
+    // ------------------------------------------------------------------
+
+    /// Processes a join request: verifies the attestation, checks the
+    /// code id allow-list, records the node as PENDING, and returns the
+    /// service secrets for the (now verified) enclave.
+    pub fn handle_join(&self, req: &JoinRequest) -> Result<ServiceSecrets, String> {
+        let mut inner = self.inner.lock();
+        if !inner.replica.is_primary() {
+            return Err("not primary".to_string());
+        }
+        // 1. Attestation verifies under the hardware root.
+        let code_id = req.report.verify().map_err(|e| format!("attestation: {e}"))?;
+        // 2. Report data binds the presented keys (no key substitution).
+        let expected = JoinRequest::expected_report_data(&req.node_public, &req.enc_public);
+        if req.report.report_data != expected {
+            return Err("report data does not bind the presented keys".to_string());
+        }
+        // 3. The code id must be allow-listed (Listing 1's map).
+        let mut tx = self.store.begin();
+        let allowed = tx
+            .get(&map(builtin::NODES_CODE_IDS), code_id.to_hex().as_bytes())
+            .is_some_and(|v| v == b"AllowedToJoin");
+        if !allowed {
+            return Err(format!("code id {} is not allowed to join", code_id.to_hex()));
+        }
+        // 4. Record as PENDING (governance will trust it, §5.1).
+        put_node_info(
+            &mut tx,
+            &req.node_id,
+            &NodeInfo {
+                status: NodeStatus::Pending,
+                cert: ccf_crypto::hex::to_hex(&req.node_public.0),
+                code_id: code_id.to_hex(),
+                enc_key: ccf_crypto::hex::to_hex(&req.enc_public),
+            },
+        );
+        let ws = tx.write_set().clone();
+        self.propose_write_set(&mut inner, ws, None)
+            .map_err(|e| format!("join propose: {e}"))?;
+        // 5. Share the service secrets with the verified enclave.
+        drop(inner);
+        self.export_secrets().ok_or_else(|| "secrets not available".to_string())
+    }
+
+    // ------------------------------------------------------------------
+    // Request handling
+    // ------------------------------------------------------------------
+
+    fn authenticate(&self, tx: &mut Transaction, req: &Request) -> Result<(), AppError> {
+        match &req.caller {
+            Caller::Anonymous => Ok(()),
+            Caller::User(id) => {
+                if tx.get(&map(builtin::USERS_CERTS), id.as_bytes()).is_some() {
+                    Ok(())
+                } else {
+                    Err(AppError::forbidden(format!("unknown user {id}")))
+                }
+            }
+            Caller::Member(id) => {
+                if tx.get(&map(builtin::MEMBERS_CERTS), id.as_bytes()).is_some() {
+                    Ok(())
+                } else {
+                    Err(AppError::forbidden(format!("unknown member {id}")))
+                }
+            }
+        }
+    }
+
+    fn check_policy(caller: &Caller, policy: AuthPolicy) -> Result<(), AppError> {
+        match (policy, caller) {
+            (AuthPolicy::NoAuth, _) => Ok(()),
+            (AuthPolicy::UserCert, Caller::User(_)) => Ok(()),
+            (AuthPolicy::MemberCert, Caller::Member(_)) => Ok(()),
+            _ => Err(AppError::forbidden("endpoint authentication policy not satisfied")),
+        }
+    }
+
+    fn service_open(&self, tx: &mut Transaction) -> bool {
+        tx.get(&map(builtin::SERVICE_INFO), b"status")
+            .and_then(|v| String::from_utf8(v).ok())
+            .and_then(|s| ServiceStatus::parse(&s))
+            == Some(ServiceStatus::Open)
+    }
+
+    /// Handles a request. Writes must land on the primary — other nodes
+    /// return a 307 with the primary hint in the body (the harness and the
+    /// rt cluster implement the forwarding of §4.3 on top).
+    pub fn handle_request(&self, req: &Request) -> Response {
+        let platform = self.opts.platform;
+        platform.run(|| self.handle_request_inner(req))
+    }
+
+    fn handle_request_inner(&self, req: &Request) -> Response {
+        let (path, params) = split_query(&req.path);
+        // Built-in endpoints (§3.2's tx, §3.5's receipt, governance).
+        if path.starts_with("/node/") || path.starts_with("/gov/") {
+            return self.handle_builtin(req, &path, &params);
+        }
+
+        // Application endpoints require the service to be open.
+        let script_app = self.script_app_cache.read().clone();
+        enum Routed {
+            Native(crate::app::EndpointDef),
+            Script(Arc<ScriptApp>, String, bool),
+        }
+        let routed = if let Some(def) = self.app.route(&req.method, &path) {
+            Routed::Native(def.clone())
+        } else if let Some(sa) = script_app {
+            match sa.route(&req.method, &path) {
+                Some((func, ro)) => {
+                    let f = func.to_string();
+                    Routed::Script(sa, f, ro)
+                }
+                None => return Response::error(404, "no such endpoint"),
+            }
+        } else {
+            return Response::error(404, "no such endpoint");
+        };
+        let (auth, read_only) = match &routed {
+            Routed::Native(def) => (def.auth, def.read_only),
+            Routed::Script(_, _, ro) => (AuthPolicy::UserCert, *ro),
+        };
+        if let Err(e) = Self::check_policy(&req.caller, auth) {
+            return Response::error(e.status, &e.message);
+        }
+
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            let mut tx = self.store.begin();
+            if !self.service_open(&mut tx) {
+                return Response::error(503, "service is not open");
+            }
+            if let Err(e) = self.authenticate(&mut tx, req) {
+                return Response::error(e.status, &e.message);
+            }
+            let mut ctx = EndpointContext {
+                tx: &mut tx,
+                caller: &req.caller,
+                body: &req.body,
+                params: params.clone(),
+                claims: None,
+            };
+            let result = match &routed {
+                Routed::Native(def) => def.invoke(&mut ctx),
+                Routed::Script(sa, func, _) => sa.invoke(func, &mut ctx, 10_000_000),
+            };
+            let claims = ctx.claims.take();
+            match result {
+                Err(e) => return Response::error(e.status, &e.message),
+                Ok(body) => {
+                    // Read-only fast path (§3.4): nothing recorded, the
+                    // response carries the last applied txid.
+                    if tx.is_read_only() {
+                        return Response { status: 200, body, txid: Some(self.last_applied()) };
+                    }
+                    if read_only {
+                        return Response::error(
+                            500,
+                            "endpoint declared read-only but wrote to the store",
+                        );
+                    }
+                    // Application logic may not touch reserved maps.
+                    if let Some(name) =
+                        tx.write_set().maps.keys().find(|n| n.is_reserved())
+                    {
+                        return Response::error(
+                            403,
+                            &format!("application wrote reserved map {name}"),
+                        );
+                    }
+                    let mut inner = self.inner.lock();
+                    if let Err(e) = self.store.validate(&tx) {
+                        drop(inner);
+                        let _ = e;
+                        if attempts <= self.opts.max_occ_retries {
+                            continue; // §6.4: re-executed, applied once
+                        }
+                        return Response::error(409, "transaction conflict");
+                    }
+                    let ws = tx.write_set().clone();
+                    match self.propose_write_set(&mut inner, ws, claims) {
+                        Ok(txid) => {
+                            return Response { status: 200, body, txid: Some(txid) };
+                        }
+                        Err(ProposeError::NotPrimary(hint)) => {
+                            let hint = hint
+                                .or_else(|| inner.replica.leader_hint().cloned())
+                                .unwrap_or_default();
+                            return Response {
+                                status: 307,
+                                body: hint.into_bytes(),
+                                txid: None,
+                            };
+                        }
+                        Err(ProposeError::Retiring) => {
+                            return Response::error(503, "node is retiring");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn handle_builtin(
+        &self,
+        req: &Request,
+        path: &str,
+        params: &std::collections::HashMap<String, String>,
+    ) -> Response {
+        match (req.method.as_str(), path) {
+            ("GET", "/node/tx") => {
+                let txid = match parse_txid(params) {
+                    Ok(t) => t,
+                    Err(e) => return Response::error(400, &e),
+                };
+                let status = self.tx_status(txid);
+                Response::ok(format!("{status:?}").into_bytes())
+            }
+            ("GET", "/node/receipt") => {
+                let txid = match parse_txid(params) {
+                    Ok(t) => t,
+                    Err(e) => return Response::error(400, &e),
+                };
+                match self.receipt(txid) {
+                    Some(receipt) => Response::ok(receipt.encode()),
+                    None => Response::error(404, "transaction not committed or not held here"),
+                }
+            }
+            ("GET", "/node/network") => {
+                let inner = self.inner.lock();
+                let body = format!(
+                    "{{\"view\":{},\"primary\":{:?},\"commit\":{}}}",
+                    inner.replica.view(),
+                    inner.replica.leader_hint().cloned().unwrap_or_default(),
+                    inner.replica.commit_seqno()
+                );
+                Response::ok(body.into_bytes())
+            }
+            ("GET", "/node/historical") => {
+                let from: u64 = params.get("from").and_then(|s| s.parse().ok()).unwrap_or(1);
+                let to: u64 = params.get("to").and_then(|s| s.parse().ok()).unwrap_or(from);
+                match self.historical_writes(from, to) {
+                    Ok(list) => {
+                        let mut out = String::from("[");
+                        for (i, (txid, ws)) in list.iter().enumerate() {
+                            if i > 0 {
+                                out.push(',');
+                            }
+                            out.push_str(&format!(
+                                "{{\"txid\":\"{txid}\",\"updates\":{}}}",
+                                ws.update_count()
+                            ));
+                        }
+                        out.push(']');
+                        Response::ok(out.into_bytes())
+                    }
+                    Err(e) => Response::error(400, &e),
+                }
+            }
+            ("POST", "/gov/proposals") => self.handle_gov(req, GovOp::Propose),
+            ("POST", "/gov/ballots") => {
+                let Some(id) = params.get("proposal_id").cloned() else {
+                    return Response::error(400, "missing proposal_id");
+                };
+                self.handle_gov(req, GovOp::Vote(id))
+            }
+            ("POST", "/gov/withdraw") => {
+                let Some(id) = params.get("proposal_id").cloned() else {
+                    return Response::error(400, "missing proposal_id");
+                };
+                self.handle_gov(req, GovOp::Withdraw(id))
+            }
+            ("GET", "/gov/proposals") => {
+                let Some(id) = params.get("proposal_id") else {
+                    return Response::error(400, "missing proposal_id");
+                };
+                let mut tx = self.store.begin();
+                match GovernanceEngine::proposal_state(&mut tx, id) {
+                    Ok(state) => Response::ok(state.as_str().as_bytes().to_vec()),
+                    Err(e) => Response::error(404, &e.to_string()),
+                }
+            }
+            _ => Response::error(404, "no such built-in endpoint"),
+        }
+    }
+
+    fn handle_gov(&self, req: &Request, op: GovOp) -> Response {
+        let envelope = match SignedRequest::decode(&req.body) {
+            Ok(e) => e,
+            Err(e) => return Response::error(400, &format!("bad envelope: {e}")),
+        };
+        let mut inner = self.inner.lock();
+        if !inner.replica.is_primary() {
+            let hint = inner.replica.leader_hint().cloned().unwrap_or_default();
+            return Response { status: 307, body: hint.into_bytes(), txid: None };
+        }
+        let mut tx = self.store.begin();
+        let outcome = match &op {
+            GovOp::Propose => inner
+                .gov
+                .propose(&mut tx, &envelope)
+                .map(|(id, state)| format!("{{\"proposal_id\":\"{id}\",\"state\":\"{}\"}}", state.as_str())),
+            GovOp::Vote(id) => inner
+                .gov
+                .vote(&mut tx, id, &envelope)
+                .map(|state| format!("{{\"state\":\"{}\"}}", state.as_str())),
+            GovOp::Withdraw(id) => inner
+                .gov
+                .withdraw(&mut tx, id, &envelope)
+                .map(|state| format!("{{\"state\":\"{}\"}}", state.as_str())),
+        };
+        match outcome {
+            Err(e) => Response::error(400, &e.to_string()),
+            Ok(body) => {
+                if self.store.validate(&tx).is_err() {
+                    return Response::error(409, "governance transaction conflict");
+                }
+                let ws = tx.write_set().clone();
+                match self.propose_write_set(&mut inner, ws, None) {
+                    Ok(txid) => Response { status: 200, body: body.into_bytes(), txid: Some(txid) },
+                    Err(e) => Response::error(503, &format!("propose failed: {e}")),
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Receipts & history (§3.4, §3.5)
+    // ------------------------------------------------------------------
+
+    /// Builds a verifiable receipt for a committed transaction, if this
+    /// node retains the entry and a covering signature transaction.
+    pub fn receipt(&self, txid: TxId) -> Option<Receipt> {
+        let inner = self.inner.lock();
+        if inner.replica.tx_status(txid) != TxStatus::Committed {
+            return None;
+        }
+        let entry = inner.replica.entry_at(txid.seqno)?.entry.clone();
+        // Find the first signature transaction after txid (its root covers
+        // entries [1, sig.seqno - 1] ⊇ txid).
+        let mut sig: Option<(TxId, SignaturePayload)> = None;
+        let mut s = txid.seqno + 1;
+        while s <= inner.replica.commit_seqno() {
+            if let Some(e) = inner.replica.entry_at(s) {
+                if e.entry.kind == EntryKind::Signature {
+                    let ws = WriteSet::decode(&e.entry.public_ws).ok()?;
+                    let payload = ws
+                        .maps
+                        .get(&map(builtin::SIGNATURES))?
+                        .get(&b"latest".to_vec())?
+                        .as_ref()?;
+                    sig = Some((e.entry.txid, SignaturePayload::decode(payload).ok()?));
+                    break;
+                }
+            }
+            s += 1;
+        }
+        let (sig_txid, payload) = sig?;
+        let proof = inner.replica.merkle_proof_at(txid.seqno, sig_txid.seqno - 1)?;
+        let service_key = inner.service_key.as_ref()?;
+        let endorsement =
+            service_key.sign(&endorsement_bytes(&payload.node_id, &payload.node_public));
+        Some(Receipt {
+            txid,
+            kind: entry.kind,
+            public_digest: sha256(&entry.public_ws),
+            private_digest: sha256(&entry.private_ws_enc),
+            claims_digest: entry.claims_digest,
+            proof,
+            root: payload.root,
+            signature_txid: sig_txid,
+            node_id: payload.node_id.clone(),
+            node_public: payload.node_public.clone(),
+            node_signature: payload.signature,
+            service_endorsement: endorsement,
+        })
+    }
+
+    /// Historical range query (§3.4): fetches committed entries from the
+    /// host's ledger storage, re-verifies them against the in-enclave
+    /// Merkle tree, decrypts, and returns the write sets.
+    pub fn historical_writes(
+        &self,
+        from: Seqno,
+        to: Seqno,
+    ) -> Result<Vec<(TxId, WriteSet)>, String> {
+        let inner = self.inner.lock();
+        if from == 0 || to < from {
+            return Err("invalid range".to_string());
+        }
+        if to > inner.replica.commit_seqno() {
+            return Err("range exceeds committed prefix".to_string());
+        }
+        // Fetch from (untrusted) host storage…
+        let mut by_seqno: BTreeMap<Seqno, LedgerEntry> = BTreeMap::new();
+        for chunk in inner.ledger_writer.chunks() {
+            for e in &chunk.entries {
+                if e.txid.seqno >= from && e.txid.seqno <= to {
+                    by_seqno.insert(e.txid.seqno, e.clone());
+                }
+            }
+        }
+        for e in inner.ledger_writer.open_entries() {
+            if e.txid.seqno >= from && e.txid.seqno <= to {
+                by_seqno.insert(e.txid.seqno, e.clone());
+            }
+        }
+        let mut out = Vec::new();
+        for s in from..=to {
+            let entry = by_seqno
+                .remove(&s)
+                .ok_or_else(|| format!("host storage is missing entry {s}"))?;
+            // …and verify each against the trusted ledger (leaf digests).
+            let expected = inner
+                .replica
+                .entry_at(s)
+                .map(|e| e.entry.digest())
+                .ok_or_else(|| format!("entry {s} not retained in enclave"))?;
+            if entry.digest() != expected {
+                return Err(format!("host storage returned a tampered entry at {s}"));
+            }
+            let ws = self.decode_entry_writes(&inner, &entry);
+            out.push((entry.txid, ws));
+        }
+        Ok(out)
+    }
+
+    /// Runs a read-only closure over the node's indexer.
+    pub fn with_indexer<T>(&self, f: impl FnOnce(&Indexer) -> T) -> T {
+        f(&self.inner.lock().indexer)
+    }
+
+    /// Registers the built-in key→txids index over `map_name`.
+    pub fn register_key_index(&self, map_name: &str) {
+        self.inner
+            .lock()
+            .indexer
+            .register(Box::new(KeyToTxIds::new(map_name)));
+    }
+
+    /// Direct store access for operators/tests (reads only by convention).
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// The application this node runs.
+    pub fn app_handle(&self) -> Arc<Application> {
+        self.app.clone()
+    }
+
+    /// Handles a *signed* user request (§6.4: "optional support for user
+    /// request signing, via the same mechanism that consortium members
+    /// sign governance operations"). The envelope's purpose must be
+    /// `user/<METHOD> <path>`; the signer's key must match a registered
+    /// user cert (stored as the hex public key). Authentication is
+    /// cryptographic — no transport identity needed — and the envelope is
+    /// replay-bound to the method+path.
+    pub fn handle_signed_user_request(&self, envelope: &SignedRequest) -> Response {
+        if envelope.verify().is_err() {
+            return Response::error(401, "invalid request signature");
+        }
+        let Some(rest) = envelope.purpose.strip_prefix("user/") else {
+            return Response::error(400, "purpose must be user/<METHOD> <path>");
+        };
+        let Some((method, path)) = rest.split_once(' ') else {
+            return Response::error(400, "purpose must be user/<METHOD> <path>");
+        };
+        // Resolve the signer to a registered user id by cert match.
+        let signer_hex = ccf_crypto::hex::to_hex(&envelope.signer.0);
+        let mut user_id = None;
+        {
+            let tx = self.store.begin();
+            tx.for_each(&map(builtin::USERS_CERTS), |k, v| {
+                if v == signer_hex.as_bytes() {
+                    user_id = std::str::from_utf8(k).ok().map(str::to_string);
+                }
+            });
+        }
+        let Some(user_id) = user_id else {
+            return Response::error(403, "signer is not a registered user");
+        };
+        self.handle_request(&Request::new(
+            method,
+            path,
+            Caller::User(user_id),
+            &envelope.payload,
+        ))
+    }
+
+    /// Member-facing convenience: a signed proposal envelope builder is in
+    /// [`ccf_governance::engine::requests`]; this submits it at this node.
+    pub fn submit_proposal(
+        &self,
+        key: &SigningKey,
+        proposal: &Proposal,
+        nonce: u64,
+    ) -> Response {
+        let envelope = requests::propose(key, proposal, nonce);
+        self.handle_request(&Request::new(
+            "POST",
+            "/gov/proposals",
+            Caller::Member(ccf_governance::member_id(&key.verifying_key())),
+            &envelope.encode(),
+        ))
+    }
+
+    /// Submits a ballot at this node.
+    pub fn submit_ballot(
+        &self,
+        key: &SigningKey,
+        proposal_id: &str,
+        ballot: &Ballot,
+        nonce: u64,
+    ) -> Response {
+        let envelope = requests::ballot(key, &proposal_id.to_string(), ballot, nonce);
+        self.handle_request(&Request::new(
+            "POST",
+            &format!("/gov/ballots?proposal_id={proposal_id}"),
+            Caller::Member(ccf_governance::member_id(&key.verifying_key())),
+            &envelope.encode(),
+        ))
+    }
+}
+
+enum GovOp {
+    Propose,
+    Vote(String),
+    Withdraw(String),
+}
+
+fn parse_txid(params: &std::collections::HashMap<String, String>) -> Result<TxId, String> {
+    let view = params
+        .get("view")
+        .and_then(|s| s.parse().ok())
+        .ok_or("missing/invalid view")?;
+    let seqno = params
+        .get("seqno")
+        .and_then(|s| s.parse().ok())
+        .ok_or("missing/invalid seqno")?;
+    Ok(TxId::new(view, seqno))
+}

@@ -1,0 +1,109 @@
+//! Real-time (threaded) cluster for throughput experiments.
+//!
+//! The virtual-time [`crate::service::ServiceCluster`] gives deterministic
+//! fault schedules; throughput numbers (Figure 7, Figure 8, Table 5) need
+//! real work on real threads instead. `RtCluster` takes an already
+//! bootstrapped service and moves it onto OS threads: one replication
+//! thread per node exchanging consensus messages over channels, plus a
+//! periodic signature timer on the primary; client threads (the paper's
+//! closed-loop users) call [`CcfNode::handle_request`] directly,
+//! exercising the node's real execution path — snapshot reads, OCC
+//! commits, ledger encryption, Merkle appends.
+
+use crate::node::CcfNode;
+use crate::service::ServiceCluster;
+use ccf_consensus::message::Message;
+use ccf_consensus::NodeId;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A running real-time cluster.
+pub struct RtCluster {
+    /// The nodes, by id.
+    pub nodes: BTreeMap<NodeId, Arc<CcfNode>>,
+    stop: Arc<AtomicBool>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl RtCluster {
+    /// Converts a bootstrapped virtual-time service into a threaded one.
+    /// `sig_interval` is the wall-clock signature period for the primary
+    /// (the paper signs on both count and time triggers).
+    pub fn from_service(service: ServiceCluster, sig_interval: Duration) -> RtCluster {
+        let nodes = service.nodes.clone();
+        let base_ms = service.now(); // continue monotonic time
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut senders: BTreeMap<NodeId, Sender<(NodeId, Message)>> = BTreeMap::new();
+        let mut receivers: BTreeMap<NodeId, Receiver<(NodeId, Message)>> = BTreeMap::new();
+        for id in nodes.keys() {
+            let (tx, rx) = unbounded();
+            senders.insert(id.clone(), tx);
+            receivers.insert(id.clone(), rx);
+        }
+        let mut handles = Vec::new();
+        let start = Instant::now();
+        for (id, node) in &nodes {
+            let node = node.clone();
+            let rx = receivers.remove(id).unwrap();
+            let senders = senders.clone();
+            let stop = stop.clone();
+            let id = id.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut last_sig = Instant::now();
+                let send_all = |from: &NodeId, out: Vec<(NodeId, Message)>| {
+                    for (to, msg) in out {
+                        if let Some(s) = senders.get(&to) {
+                            let _ = s.send((from.clone(), msg));
+                        }
+                    }
+                };
+                while !stop.load(Ordering::Relaxed) {
+                    // Drain inbound messages (with a short park when idle).
+                    let mut any = false;
+                    while let Ok((from, msg)) = rx.try_recv() {
+                        any = true;
+                        let out = node.receive(&from, msg);
+                        send_all(&id, out);
+                    }
+                    let now_ms = base_ms + start.elapsed().as_millis() as u64;
+                    let out = node.tick(now_ms);
+                    send_all(&id, out);
+                    if node.is_primary() && last_sig.elapsed() >= sig_interval {
+                        last_sig = Instant::now();
+                        let out = node.emit_signature();
+                        send_all(&id, out);
+                    }
+                    if !any {
+                        // 1ms idle cadence: consensus timing (20ms
+                        // heartbeats) tolerates it, and finer sleeps
+                        // starve co-located client threads on small hosts.
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+            }));
+        }
+        RtCluster { nodes, stop, handles }
+    }
+
+    /// The current primary node handle.
+    pub fn primary(&self) -> Option<Arc<CcfNode>> {
+        self.nodes.values().find(|n| n.is_primary()).cloned()
+    }
+
+    /// Any backup node handle.
+    pub fn a_backup(&self) -> Option<Arc<CcfNode>> {
+        self.nodes.values().find(|n| !n.is_primary()).cloned()
+    }
+
+    /// Stops the replication threads.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}

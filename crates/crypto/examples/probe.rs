@@ -1,0 +1,8 @@
+fn main() {
+    println!("start");
+    let h = ccf_crypto::sha2::sha256(&7u64.to_le_bytes());
+    println!("sha256 done {:02x?}", &h[..4]);
+    let mut rng = ccf_crypto::chacha::ChaChaRng::seed_from_u64(7);
+    println!("rng made");
+    println!("u64: {}", rng.next_u64());
+}

@@ -1,0 +1,305 @@
+//! The AES block cipher (FIPS 197), key sizes 128 and 256.
+//!
+//! The S-box is derived at first use from its mathematical definition — the
+//! multiplicative inverse in GF(2^8) followed by the affine transform —
+//! instead of being hardcoded, eliminating table transcription as a failure
+//! mode. The FIPS 197 appendix C known-answer tests pin the result.
+//!
+//! This is a straightforward table-free-schedule implementation; it is not
+//! constant-time (see the crate-level security disclaimer).
+
+use std::sync::OnceLock;
+
+/// GF(2^8) multiplication with the AES reduction polynomial x^8+x^4+x^3+x+1.
+pub(crate) fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut acc = 0u8;
+    while b != 0 {
+        if b & 1 != 0 {
+            acc ^= a;
+        }
+        let hi = a & 0x80;
+        a <<= 1;
+        if hi != 0 {
+            a ^= 0x1b;
+        }
+        b >>= 1;
+    }
+    acc
+}
+
+struct Tables {
+    sbox: [u8; 256],
+    inv_sbox: [u8; 256],
+}
+
+fn tables() -> &'static Tables {
+    static T: OnceLock<Tables> = OnceLock::new();
+    T.get_or_init(|| {
+        // Build the GF(2^8) inverse via log/antilog tables on generator 3.
+        let mut alog = [0u8; 256];
+        let mut log = [0u8; 256];
+        let mut v: u8 = 1;
+        for i in 0..255 {
+            alog[i] = v;
+            log[v as usize] = i as u8;
+            v = gf_mul(v, 3);
+        }
+        alog[255] = 1;
+        let inv = |x: u8| -> u8 {
+            if x == 0 {
+                0
+            } else {
+                alog[(255 - log[x as usize] as usize) % 255]
+            }
+        };
+        let mut sbox = [0u8; 256];
+        let mut inv_sbox = [0u8; 256];
+        for x in 0..256 {
+            let b = inv(x as u8);
+            let s = b
+                ^ b.rotate_left(1)
+                ^ b.rotate_left(2)
+                ^ b.rotate_left(3)
+                ^ b.rotate_left(4)
+                ^ 0x63;
+            sbox[x] = s;
+            inv_sbox[s as usize] = x as u8;
+        }
+        Tables { sbox, inv_sbox }
+    })
+}
+
+/// An expanded AES key, ready for block operations.
+pub struct Aes {
+    round_keys: Vec<[u8; 16]>,
+    rounds: usize,
+}
+
+impl Aes {
+    /// Expands a 128-bit key (10 rounds).
+    pub fn new_128(key: &[u8; 16]) -> Self {
+        Self::expand(key, 4, 10)
+    }
+
+    /// Expands a 256-bit key (14 rounds).
+    pub fn new_256(key: &[u8; 32]) -> Self {
+        Self::expand(key, 8, 14)
+    }
+
+    fn expand(key: &[u8], nk: usize, rounds: usize) -> Self {
+        let sbox = &tables().sbox;
+        let total_words = 4 * (rounds + 1);
+        let mut w: Vec<[u8; 4]> = Vec::with_capacity(total_words);
+        for i in 0..nk {
+            w.push(key[i * 4..i * 4 + 4].try_into().unwrap());
+        }
+        let mut rcon: u8 = 1;
+        for i in nk..total_words {
+            let mut temp = w[i - 1];
+            if i % nk == 0 {
+                temp.rotate_left(1);
+                for b in temp.iter_mut() {
+                    *b = sbox[*b as usize];
+                }
+                temp[0] ^= rcon;
+                rcon = gf_mul(rcon, 2);
+            } else if nk > 6 && i % nk == 4 {
+                for b in temp.iter_mut() {
+                    *b = sbox[*b as usize];
+                }
+            }
+            let prev = w[i - nk];
+            w.push([
+                prev[0] ^ temp[0],
+                prev[1] ^ temp[1],
+                prev[2] ^ temp[2],
+                prev[3] ^ temp[3],
+            ]);
+        }
+        let round_keys = w
+            .chunks(4)
+            .map(|c| {
+                let mut rk = [0u8; 16];
+                for (i, word) in c.iter().enumerate() {
+                    rk[i * 4..i * 4 + 4].copy_from_slice(word);
+                }
+                rk
+            })
+            .collect();
+        Aes { round_keys, rounds }
+    }
+
+    /// Encrypts one 16-byte block in place.
+    pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+        let sbox = &tables().sbox;
+        xor16(block, &self.round_keys[0]);
+        for r in 1..self.rounds {
+            sub_bytes(block, sbox);
+            shift_rows(block);
+            mix_columns(block);
+            xor16(block, &self.round_keys[r]);
+        }
+        sub_bytes(block, sbox);
+        shift_rows(block);
+        xor16(block, &self.round_keys[self.rounds]);
+    }
+
+    /// Decrypts one 16-byte block in place.
+    pub fn decrypt_block(&self, block: &mut [u8; 16]) {
+        let inv_sbox = &tables().inv_sbox;
+        xor16(block, &self.round_keys[self.rounds]);
+        inv_shift_rows(block);
+        inv_sub_bytes(block, inv_sbox);
+        for r in (1..self.rounds).rev() {
+            xor16(block, &self.round_keys[r]);
+            inv_mix_columns(block);
+            inv_shift_rows(block);
+            inv_sub_bytes(block, inv_sbox);
+        }
+        xor16(block, &self.round_keys[0]);
+    }
+}
+
+#[inline]
+fn xor16(block: &mut [u8; 16], key: &[u8; 16]) {
+    for i in 0..16 {
+        block[i] ^= key[i];
+    }
+}
+
+#[inline]
+fn sub_bytes(block: &mut [u8; 16], sbox: &[u8; 256]) {
+    for b in block.iter_mut() {
+        *b = sbox[*b as usize];
+    }
+}
+
+#[inline]
+fn inv_sub_bytes(block: &mut [u8; 16], inv_sbox: &[u8; 256]) {
+    for b in block.iter_mut() {
+        *b = inv_sbox[*b as usize];
+    }
+}
+
+// State is column-major: byte index = 4*col + row.
+#[inline]
+fn shift_rows(b: &mut [u8; 16]) {
+    // Row 1: shift left by 1.
+    let t = b[1];
+    b[1] = b[5];
+    b[5] = b[9];
+    b[9] = b[13];
+    b[13] = t;
+    // Row 2: shift left by 2.
+    b.swap(2, 10);
+    b.swap(6, 14);
+    // Row 3: shift left by 3 (= right by 1).
+    let t = b[15];
+    b[15] = b[11];
+    b[11] = b[7];
+    b[7] = b[3];
+    b[3] = t;
+}
+
+#[inline]
+fn inv_shift_rows(b: &mut [u8; 16]) {
+    // Row 1: shift right by 1.
+    let t = b[13];
+    b[13] = b[9];
+    b[9] = b[5];
+    b[5] = b[1];
+    b[1] = t;
+    // Row 2: shift right by 2.
+    b.swap(2, 10);
+    b.swap(6, 14);
+    // Row 3: shift right by 3 (= left by 1).
+    let t = b[3];
+    b[3] = b[7];
+    b[7] = b[11];
+    b[11] = b[15];
+    b[15] = t;
+}
+
+#[inline]
+fn mix_columns(b: &mut [u8; 16]) {
+    for col in 0..4 {
+        let i = col * 4;
+        let (a0, a1, a2, a3) = (b[i], b[i + 1], b[i + 2], b[i + 3]);
+        b[i] = gf_mul(a0, 2) ^ gf_mul(a1, 3) ^ a2 ^ a3;
+        b[i + 1] = a0 ^ gf_mul(a1, 2) ^ gf_mul(a2, 3) ^ a3;
+        b[i + 2] = a0 ^ a1 ^ gf_mul(a2, 2) ^ gf_mul(a3, 3);
+        b[i + 3] = gf_mul(a0, 3) ^ a1 ^ a2 ^ gf_mul(a3, 2);
+    }
+}
+
+#[inline]
+fn inv_mix_columns(b: &mut [u8; 16]) {
+    for col in 0..4 {
+        let i = col * 4;
+        let (a0, a1, a2, a3) = (b[i], b[i + 1], b[i + 2], b[i + 3]);
+        b[i] = gf_mul(a0, 14) ^ gf_mul(a1, 11) ^ gf_mul(a2, 13) ^ gf_mul(a3, 9);
+        b[i + 1] = gf_mul(a0, 9) ^ gf_mul(a1, 14) ^ gf_mul(a2, 11) ^ gf_mul(a3, 13);
+        b[i + 2] = gf_mul(a0, 13) ^ gf_mul(a1, 9) ^ gf_mul(a2, 14) ^ gf_mul(a3, 11);
+        b[i + 3] = gf_mul(a0, 11) ^ gf_mul(a1, 13) ^ gf_mul(a2, 9) ^ gf_mul(a3, 14);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex::{from_hex_array, to_hex};
+
+    #[test]
+    fn sbox_spot_values() {
+        let t = tables();
+        assert_eq!(t.sbox[0x00], 0x63);
+        assert_eq!(t.sbox[0x01], 0x7c);
+        assert_eq!(t.sbox[0x53], 0xed);
+        assert_eq!(t.inv_sbox[0x63], 0x00);
+        // S-box is a permutation.
+        let mut seen = [false; 256];
+        for &v in t.sbox.iter() {
+            assert!(!seen[v as usize]);
+            seen[v as usize] = true;
+        }
+    }
+
+    #[test]
+    fn fips197_appendix_c1_aes128() {
+        let key = from_hex_array::<16>("000102030405060708090a0b0c0d0e0f").unwrap();
+        let mut block = from_hex_array::<16>("00112233445566778899aabbccddeeff").unwrap();
+        let aes = Aes::new_128(&key);
+        aes.encrypt_block(&mut block);
+        assert_eq!(to_hex(&block), "69c4e0d86a7b0430d8cdb78070b4c55a");
+        aes.decrypt_block(&mut block);
+        assert_eq!(to_hex(&block), "00112233445566778899aabbccddeeff");
+    }
+
+    #[test]
+    fn fips197_appendix_c3_aes256() {
+        let key =
+            from_hex_array::<32>("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+                .unwrap();
+        let mut block = from_hex_array::<16>("00112233445566778899aabbccddeeff").unwrap();
+        let aes = Aes::new_256(&key);
+        aes.encrypt_block(&mut block);
+        assert_eq!(to_hex(&block), "8ea2b7ca516745bfeafc49904b496089");
+        aes.decrypt_block(&mut block);
+        assert_eq!(to_hex(&block), "00112233445566778899aabbccddeeff");
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip_random() {
+        let aes = Aes::new_256(&[0x5a; 32]);
+        let mut rng = crate::chacha::ChaChaRng::seed_from_u64(99);
+        for _ in 0..100 {
+            let mut block = [0u8; 16];
+            rng.fill_bytes(&mut block);
+            let orig = block;
+            aes.encrypt_block(&mut block);
+            assert_ne!(block, orig);
+            aes.decrypt_block(&mut block);
+            assert_eq!(block, orig);
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Minimal fixed-width big-integer helpers and the Ed25519 scalar ring
+//! (integers modulo the group order L).
+//!
+//! Only the handful of operations the signature scheme needs are
+//! implemented: addition, subtraction, comparison, schoolbook
+//! multiplication, and modular reduction by binary long division. Reduction
+//! by long division is a few hundred word operations — microseconds — which
+//! is irrelevant next to the curve arithmetic it supports, and it has no
+//! special-case code to get wrong.
+
+/// Compares two little-endian limb slices of equal length.
+pub fn cmp_limbs(a: &[u64], b: &[u64]) -> std::cmp::Ordering {
+    debug_assert_eq!(a.len(), b.len());
+    for i in (0..a.len()).rev() {
+        match a[i].cmp(&b[i]) {
+            std::cmp::Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// `a += b`, returning the carry out.
+pub fn add_assign(a: &mut [u64], b: &[u64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut carry = 0u64;
+    for i in 0..a.len() {
+        let (s1, c1) = a[i].overflowing_add(b[i]);
+        let (s2, c2) = s1.overflowing_add(carry);
+        a[i] = s2;
+        carry = (c1 as u64) + (c2 as u64);
+    }
+    carry != 0
+}
+
+/// `a -= b`, returning the borrow out. Caller ensures `a >= b` when the
+/// borrow must not happen.
+pub fn sub_assign(a: &mut [u64], b: &[u64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut borrow = 0u64;
+    for i in 0..a.len() {
+        let (d1, b1) = a[i].overflowing_sub(b[i]);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        a[i] = d2;
+        borrow = (b1 as u64) + (b2 as u64);
+    }
+    borrow != 0
+}
+
+/// Schoolbook multiply: `out = a * b` where `out.len() == a.len() + b.len()`.
+pub fn mul_limbs(a: &[u64], b: &[u64], out: &mut [u64]) {
+    debug_assert_eq!(out.len(), a.len() + b.len());
+    out.fill(0);
+    for i in 0..a.len() {
+        let mut carry: u128 = 0;
+        for j in 0..b.len() {
+            let cur = out[i + j] as u128 + a[i] as u128 * b[j] as u128 + carry;
+            out[i + j] = cur as u64;
+            carry = cur >> 64;
+        }
+        out[i + b.len()] = carry as u64;
+    }
+}
+
+/// Reduces an arbitrary little-endian limb value modulo `m` (non-zero) by
+/// binary long division. `m.len()` limbs are returned.
+pub fn mod_limbs(x: &[u64], m: &[u64]) -> Vec<u64> {
+    let n = m.len();
+    let mut r = vec![0u64; n + 1]; // one spare limb for the shifted value
+    let mut m_ext = m.to_vec();
+    m_ext.push(0);
+    let bits = x.len() * 64;
+    for i in (0..bits).rev() {
+        // r = (r << 1) | bit_i(x)
+        let mut carry = (x[i / 64] >> (i % 64)) & 1;
+        for limb in r.iter_mut() {
+            let new_carry = *limb >> 63;
+            *limb = (*limb << 1) | carry;
+            carry = new_carry;
+        }
+        if cmp_limbs(&r, &m_ext) != std::cmp::Ordering::Less {
+            sub_assign(&mut r, &m_ext);
+        }
+    }
+    r.truncate(n);
+    r
+}
+
+/// Parses a decimal string into little-endian limbs (for tests and for
+/// deriving constants from their published decimal forms).
+pub fn from_decimal(s: &str) -> Vec<u64> {
+    let mut limbs = vec![0u64];
+    for ch in s.chars() {
+        let d = ch.to_digit(10).expect("decimal digit") as u64;
+        // limbs = limbs * 10 + d
+        let mut carry: u128 = d as u128;
+        for limb in limbs.iter_mut() {
+            let cur = *limb as u128 * 10 + carry;
+            *limb = cur as u64;
+            carry = cur >> 64;
+        }
+        if carry != 0 {
+            limbs.push(carry as u64);
+        }
+    }
+    limbs
+}
+
+/// The Ed25519 group order
+/// `L = 2^252 + 27742317777372353535851937790883648493`.
+pub const L: [u64; 4] = [
+    0x5812631a5cf5d3ed,
+    0x14def9dea2f79cd6,
+    0x0000000000000000,
+    0x1000000000000000,
+];
+
+/// An integer modulo L, the order of the Ed25519 base point.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Scalar(pub [u64; 4]);
+
+impl Scalar {
+    /// The scalar 0.
+    pub const ZERO: Scalar = Scalar([0; 4]);
+    /// The scalar 1.
+    pub const ONE: Scalar = Scalar([1, 0, 0, 0]);
+
+    /// Reduces a 64-byte little-endian value (e.g. a SHA-512 digest) mod L.
+    pub fn from_bytes_wide(bytes: &[u8; 64]) -> Scalar {
+        let mut limbs = [0u64; 8];
+        for i in 0..8 {
+            limbs[i] = u64::from_le_bytes(bytes[i * 8..i * 8 + 8].try_into().unwrap());
+        }
+        let r = mod_limbs(&limbs, &L);
+        Scalar([r[0], r[1], r[2], r[3]])
+    }
+
+    /// Interprets 32 little-endian bytes, reducing mod L.
+    pub fn from_bytes_reduced(bytes: &[u8; 32]) -> Scalar {
+        let mut wide = [0u8; 64];
+        wide[..32].copy_from_slice(bytes);
+        Scalar::from_bytes_wide(&wide)
+    }
+
+    /// Interprets 32 little-endian bytes, rejecting non-canonical values
+    /// (>= L). Used when verifying signatures to enforce canonical `s`.
+    pub fn from_canonical_bytes(bytes: &[u8; 32]) -> Option<Scalar> {
+        let mut limbs = [0u64; 4];
+        for i in 0..4 {
+            limbs[i] = u64::from_le_bytes(bytes[i * 8..i * 8 + 8].try_into().unwrap());
+        }
+        if cmp_limbs(&limbs, &L) == std::cmp::Ordering::Less {
+            Some(Scalar(limbs))
+        } else {
+            None
+        }
+    }
+
+    /// Serializes to 32 little-endian bytes (canonical).
+    pub fn to_bytes(self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for i in 0..4 {
+            out[i * 8..i * 8 + 8].copy_from_slice(&self.0[i].to_le_bytes());
+        }
+        out
+    }
+
+    /// `(self + rhs) mod L`.
+    pub fn add(self, rhs: Scalar) -> Scalar {
+        let mut r = [0u64; 5];
+        r[..4].copy_from_slice(&self.0);
+        let mut b = [0u64; 5];
+        b[..4].copy_from_slice(&rhs.0);
+        add_assign(&mut r, &b);
+        let m = mod_limbs(&r, &L);
+        Scalar([m[0], m[1], m[2], m[3]])
+    }
+
+    /// `(self * rhs) mod L`.
+    pub fn mul(self, rhs: Scalar) -> Scalar {
+        let mut wide = [0u64; 8];
+        mul_limbs(&self.0, &rhs.0, &mut wide);
+        let m = mod_limbs(&wide, &L);
+        Scalar([m[0], m[1], m[2], m[3]])
+    }
+
+    /// `(self * b + c) mod L` — the core of Ed25519 signing.
+    pub fn mul_add(self, b: Scalar, c: Scalar) -> Scalar {
+        self.mul(b).add(c)
+    }
+
+    /// True iff this is the zero scalar.
+    pub fn is_zero(self) -> bool {
+        self.0 == [0; 4]
+    }
+
+    /// The i-th bit (little-endian) of the scalar, for ladder iteration.
+    pub fn bit(&self, i: usize) -> u8 {
+        ((self.0[i / 64] >> (i % 64)) & 1) as u8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l_matches_decimal_definition() {
+        // L = 2^252 + delta, with delta's published decimal expansion.
+        let delta = from_decimal("27742317777372353535851937790883648493");
+        let mut l = vec![0u64; 4];
+        l[3] = 1 << 60; // 2^252
+        let mut d4 = delta.clone();
+        d4.resize(4, 0);
+        add_assign(&mut l, &d4);
+        assert_eq!(&l[..], &L[..]);
+    }
+
+    #[test]
+    fn mod_limbs_small_cases() {
+        assert_eq!(mod_limbs(&[17], &[5]), vec![2]);
+        assert_eq!(mod_limbs(&[0, 1], &[7]), vec![(u64::MAX % 7 + 1) % 7]); // 2^64 mod 7
+        assert_eq!(mod_limbs(&[100, 0, 0], &[3, 0]), vec![1, 0]);
+    }
+
+    #[test]
+    fn scalar_ring_laws() {
+        let a = Scalar::from_bytes_reduced(&[1u8; 32]);
+        let b = Scalar::from_bytes_reduced(&[2u8; 32]);
+        let c = Scalar::from_bytes_reduced(&[3u8; 32]);
+        assert_eq!(a.add(b), b.add(a));
+        assert_eq!(a.mul(b), b.mul(a));
+        assert_eq!(a.mul(b.add(c)), a.mul(b).add(a.mul(c)));
+        assert_eq!(a.mul(Scalar::ONE), a);
+        assert_eq!(a.add(Scalar::ZERO), a);
+        assert_eq!(a.mul(Scalar::ZERO), Scalar::ZERO);
+    }
+
+    #[test]
+    fn wide_reduction_is_canonical() {
+        let s = Scalar::from_bytes_wide(&[0xff; 64]);
+        assert_eq!(cmp_limbs(&s.0, &L), std::cmp::Ordering::Less);
+        // Round-trips through canonical bytes.
+        assert_eq!(Scalar::from_canonical_bytes(&s.to_bytes()), Some(s));
+    }
+
+    #[test]
+    fn canonical_rejects_l_and_above() {
+        let mut l_bytes = [0u8; 32];
+        for i in 0..4 {
+            l_bytes[i * 8..i * 8 + 8].copy_from_slice(&L[i].to_le_bytes());
+        }
+        assert_eq!(Scalar::from_canonical_bytes(&l_bytes), None);
+        assert!(Scalar::from_canonical_bytes(&[0xff; 32]).is_none());
+        assert_eq!(Scalar::from_canonical_bytes(&[0; 32]), Some(Scalar::ZERO));
+    }
+
+    #[test]
+    fn decimal_parser() {
+        assert_eq!(from_decimal("0"), vec![0]);
+        assert_eq!(from_decimal("18446744073709551616"), vec![0, 1]); // 2^64
+        assert_eq!(from_decimal("340282366920938463463374607431768211456"), vec![0, 0, 1]); // 2^128
+    }
+}

@@ -1,0 +1,31 @@
+//! Constant-time-ish comparison helpers.
+//!
+//! Tag and signature comparisons must not early-exit on the first differing
+//! byte; these helpers fold the whole input before deciding.
+
+/// Compares two byte slices in time independent of their contents
+/// (still dependent on their lengths, which are public here).
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc |= x ^ y;
+    }
+    acc == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ct_eq;
+
+    #[test]
+    fn equality() {
+        assert!(ct_eq(b"", b""));
+        assert!(ct_eq(b"hello", b"hello"));
+        assert!(!ct_eq(b"hello", b"hellp"));
+        assert!(!ct_eq(b"hello", b"hell"));
+        assert!(!ct_eq(b"xello", b"hello"));
+    }
+}

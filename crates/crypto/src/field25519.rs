@@ -1,0 +1,320 @@
+//! Arithmetic in GF(2^255 - 19), the field underlying Ed25519 and X25519.
+//!
+//! Elements are four little-endian u64 limbs kept below 2^256 between
+//! operations and canonicalized (< p) on serialization and comparison.
+//! Reduction uses the identity 2^256 ≡ 38 (mod p).
+
+/// A field element (not necessarily canonical between operations).
+#[derive(Clone, Copy, Debug)]
+pub struct Fe(pub [u64; 4]);
+
+/// p = 2^255 - 19 as limbs.
+pub const P: [u64; 4] = [
+    0xffff_ffff_ffff_ffed,
+    0xffff_ffff_ffff_ffff,
+    0xffff_ffff_ffff_ffff,
+    0x7fff_ffff_ffff_ffff,
+];
+
+impl PartialEq for Fe {
+    fn eq(&self, other: &Self) -> bool {
+        self.to_bytes() == other.to_bytes()
+    }
+}
+impl Eq for Fe {}
+
+impl Fe {
+    /// The additive identity.
+    pub const ZERO: Fe = Fe([0; 4]);
+    /// The multiplicative identity.
+    pub const ONE: Fe = Fe([1, 0, 0, 0]);
+
+    /// Builds a field element from a small integer.
+    pub fn from_u64(v: u64) -> Fe {
+        Fe([v, 0, 0, 0])
+    }
+
+    /// Deserializes 32 little-endian bytes; the top bit is ignored
+    /// (callers that need it — point decompression — extract it first).
+    pub fn from_bytes(bytes: &[u8; 32]) -> Fe {
+        let mut limbs = [0u64; 4];
+        for i in 0..4 {
+            limbs[i] = u64::from_le_bytes(bytes[i * 8..i * 8 + 8].try_into().unwrap());
+        }
+        limbs[3] &= 0x7fff_ffff_ffff_ffff;
+        Fe(limbs)
+    }
+
+    /// Serializes canonically (value reduced into [0, p)).
+    pub fn to_bytes(self) -> [u8; 32] {
+        let r = self.reduce_full();
+        let mut out = [0u8; 32];
+        for i in 0..4 {
+            out[i * 8..i * 8 + 8].copy_from_slice(&r.0[i].to_le_bytes());
+        }
+        out
+    }
+
+    /// Brings the value into [0, p).
+    fn reduce_full(self) -> Fe {
+        let mut r = self.0;
+        // The limbs may represent a value up to 2^256 - 1 < 2p + 38·…;
+        // clear the top bit first by folding it: bit 255 has weight 2^255 ≡ 19.
+        let top = r[3] >> 63;
+        r[3] &= 0x7fff_ffff_ffff_ffff;
+        let mut carry = (top as u128) * 19;
+        for limb in r.iter_mut() {
+            let cur = *limb as u128 + carry;
+            *limb = cur as u64;
+            carry = cur >> 64;
+        }
+        // One more fold in case the addition re-set bit 255.
+        let top = r[3] >> 63;
+        r[3] &= 0x7fff_ffff_ffff_ffff;
+        let mut carry = (top as u128) * 19;
+        for limb in r.iter_mut() {
+            let cur = *limb as u128 + carry;
+            *limb = cur as u64;
+            carry = cur >> 64;
+        }
+        // Now r < 2^255; subtract p if needed.
+        if crate::bignum::cmp_limbs(&r, &P) != std::cmp::Ordering::Less {
+            crate::bignum::sub_assign(&mut r, &P);
+        }
+        Fe(r)
+    }
+
+    /// Addition.
+    pub fn add(self, rhs: Fe) -> Fe {
+        let mut r = self.0;
+        let carry = crate::bignum::add_assign(&mut r, &rhs.0);
+        if carry {
+            // 2^256 ≡ 38.
+            let mut c: u128 = 38;
+            for limb in r.iter_mut() {
+                let cur = *limb as u128 + c;
+                *limb = cur as u64;
+                c = cur >> 64;
+            }
+            // c can only be non-zero if r was all-ones, impossible after fold.
+            debug_assert_eq!(c, 0);
+        }
+        Fe(r)
+    }
+
+    /// Subtraction.
+    pub fn sub(self, rhs: Fe) -> Fe {
+        // self + (2p - rhs_canonical) keeps everything positive.
+        let rhs = rhs.reduce_full();
+        let mut two_p = [0u64; 4];
+        crate::bignum::add_assign(&mut two_p, &P);
+        crate::bignum::add_assign(&mut two_p, &P);
+        let mut neg = two_p;
+        crate::bignum::sub_assign(&mut neg, &rhs.0);
+        self.add(Fe(neg))
+    }
+
+    /// Negation.
+    pub fn neg(self) -> Fe {
+        Fe::ZERO.sub(self)
+    }
+
+    /// Multiplication.
+    pub fn mul(self, rhs: Fe) -> Fe {
+        let mut wide = [0u64; 8];
+        crate::bignum::mul_limbs(&self.0, &rhs.0, &mut wide);
+        // Fold the high 256 bits: 2^256 ≡ 38 (mod p).
+        let mut r = [0u64; 4];
+        r.copy_from_slice(&wide[..4]);
+        let mut carry: u128 = 0;
+        for i in 0..4 {
+            let cur = r[i] as u128 + wide[4 + i] as u128 * 38 + carry;
+            r[i] = cur as u64;
+            carry = cur >> 64;
+        }
+        // carry < 38 "2^256 units" remain; fold until none do (the second
+        // fold can itself overflow limb 3 when r is near 2^256).
+        let mut extra = carry as u64;
+        while extra != 0 {
+            let mut c = extra as u128 * 38;
+            for limb in r.iter_mut() {
+                let cur = *limb as u128 + c;
+                *limb = cur as u64;
+                c = cur >> 64;
+            }
+            extra = c as u64;
+        }
+        Fe(r)
+    }
+
+    /// Squaring.
+    pub fn square(self) -> Fe {
+        self.mul(self)
+    }
+
+    /// Exponentiation by a 256-bit little-endian exponent.
+    pub fn pow(self, exp: &[u64; 4]) -> Fe {
+        let mut result = Fe::ONE;
+        for i in (0..256).rev() {
+            result = result.square();
+            if (exp[i / 64] >> (i % 64)) & 1 == 1 {
+                result = result.mul(self);
+            }
+        }
+        result
+    }
+
+    /// Multiplicative inverse via Fermat's little theorem (x^(p-2)).
+    /// Returns zero for zero.
+    pub fn invert(self) -> Fe {
+        let mut e = P;
+        e[0] -= 2; // p - 2 (no borrow: low limb ends in ...ed)
+        self.pow(&e)
+    }
+
+    /// True iff the canonical value is zero.
+    pub fn is_zero(self) -> bool {
+        self.to_bytes() == [0u8; 32]
+    }
+
+    /// Parity of the canonical value (used as the "sign" of x-coordinates).
+    pub fn is_odd(self) -> bool {
+        self.to_bytes()[0] & 1 == 1
+    }
+
+    /// Square root for p ≡ 5 (mod 8): candidate = x^((p+3)/8), fixed up by
+    /// sqrt(-1) when needed. Returns `None` if no root exists.
+    pub fn sqrt(self) -> Option<Fe> {
+        // (p+3)/8 = 2^252 - 2, computed from P to avoid transcription.
+        let mut e = P;
+        e[0] += 3; // no carry: ...ed + 3 = ...f0
+        // divide by 8
+        for i in 0..4 {
+            e[i] >>= 3;
+            if i + 1 < 4 {
+                e[i] |= e[i + 1] << 61;
+            }
+        }
+        let candidate = self.pow(&e);
+        if candidate.square() == self {
+            return Some(candidate);
+        }
+        let candidate = candidate.mul(sqrt_m1());
+        if candidate.square() == self {
+            return Some(candidate);
+        }
+        None
+    }
+}
+
+/// sqrt(-1) = 2^((p-1)/4) mod p, derived once.
+pub fn sqrt_m1() -> Fe {
+    use std::sync::OnceLock;
+    static V: OnceLock<Fe> = OnceLock::new();
+    *V.get_or_init(|| {
+        // (p-1)/4: p-1 = 2^255 - 20; divide by 4.
+        let mut e = P;
+        e[0] -= 1;
+        for i in 0..4 {
+            e[i] >>= 2;
+            if i + 1 < 4 {
+                e[i] |= e[i + 1] << 62;
+            }
+        }
+        Fe::from_u64(2).pow(&e)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fe(v: u64) -> Fe {
+        Fe::from_u64(v)
+    }
+
+    #[test]
+    fn field_laws() {
+        let a = fe(123456789);
+        let b = fe(987654321);
+        let c = fe(31337);
+        assert_eq!(a.add(b), b.add(a));
+        assert_eq!(a.mul(b), b.mul(a));
+        assert_eq!(a.mul(b.add(c)), a.mul(b).add(a.mul(c)));
+        assert_eq!(a.sub(a), Fe::ZERO);
+        assert_eq!(a.add(a.neg()), Fe::ZERO);
+        assert_eq!(a.mul(Fe::ONE), a);
+    }
+
+    #[test]
+    fn inverse() {
+        let a = fe(1234567890123456789);
+        assert_eq!(a.mul(a.invert()), Fe::ONE);
+        assert_eq!(Fe::ZERO.invert(), Fe::ZERO);
+        assert_eq!(Fe::ONE.invert(), Fe::ONE);
+    }
+
+    #[test]
+    fn p_wraps_to_zero() {
+        let p = Fe(P);
+        assert!(p.is_zero());
+        assert_eq!(p.add(Fe::ONE), Fe::ONE);
+        // 2^255 ≡ 19: set bit 255 via doubling 2^254.
+        let mut x = Fe::ONE;
+        for _ in 0..255 {
+            x = x.add(x);
+        }
+        assert_eq!(x, fe(19));
+    }
+
+    #[test]
+    fn sqrt_minus_one_squares_to_minus_one() {
+        let i = sqrt_m1();
+        assert_eq!(i.square(), Fe::ONE.neg());
+    }
+
+    #[test]
+    fn sqrt_roundtrip() {
+        for v in [1u64, 2, 4, 9, 16, 25, 31337, 999983] {
+            let x = fe(v);
+            let sq = x.square();
+            let root = sq.sqrt().expect("square must have a root");
+            assert!(root == x || root == x.neg(), "v={v}");
+        }
+    }
+
+    #[test]
+    fn nonresidue_has_no_root() {
+        // In GF(p) with p ≡ 5 (mod 8), exactly half the non-zero elements
+        // are squares; find one non-square among small values.
+        let mut found_none = false;
+        for v in 2u64..40 {
+            if fe(v).sqrt().is_none() {
+                found_none = true;
+                break;
+            }
+        }
+        assert!(found_none, "expected a quadratic non-residue among small ints");
+    }
+
+    #[test]
+    fn serialization_canonical() {
+        // p + 5 serializes as 5.
+        let mut limbs = P;
+        limbs[0] += 5;
+        assert_eq!(Fe(limbs).to_bytes(), fe(5).to_bytes());
+        // Round-trip.
+        let a = fe(0xdead_beef_cafe_f00d);
+        assert_eq!(Fe::from_bytes(&a.to_bytes()), a);
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let x = fe(7);
+        let mut expect = Fe::ONE;
+        for _ in 0..13 {
+            expect = expect.mul(x);
+        }
+        assert_eq!(x.pow(&[13, 0, 0, 0]), expect);
+    }
+}

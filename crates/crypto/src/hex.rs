@@ -1,0 +1,61 @@
+//! Hexadecimal encoding/decoding, used pervasively for identifiers
+//! (node IDs, code IDs, digests) in ledgers and governance payloads.
+
+use crate::CryptoError;
+
+/// Encodes `bytes` as lowercase hex.
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push(char::from_digit((b >> 4) as u32, 16).unwrap());
+        s.push(char::from_digit((b & 0xf) as u32, 16).unwrap());
+    }
+    s
+}
+
+/// Decodes a hex string (case-insensitive) into bytes.
+pub fn from_hex(s: &str) -> Result<Vec<u8>, CryptoError> {
+    let s = s.trim();
+    if s.len() % 2 != 0 {
+        return Err(CryptoError::Encoding("odd-length hex string"));
+    }
+    let mut out = Vec::with_capacity(s.len() / 2);
+    let bytes = s.as_bytes();
+    for pair in bytes.chunks(2) {
+        let hi = (pair[0] as char)
+            .to_digit(16)
+            .ok_or(CryptoError::Encoding("non-hex character"))?;
+        let lo = (pair[1] as char)
+            .to_digit(16)
+            .ok_or(CryptoError::Encoding("non-hex character"))?;
+        out.push(((hi << 4) | lo) as u8);
+    }
+    Ok(out)
+}
+
+/// Decodes hex into a fixed-size array.
+pub fn from_hex_array<const N: usize>(s: &str) -> Result<[u8; N], CryptoError> {
+    let v = from_hex(s)?;
+    v.try_into()
+        .map_err(|v: Vec<u8>| CryptoError::InvalidLength { expected: N, got: v.len() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let data = [0x00, 0x01, 0xfe, 0xff, 0xa5];
+        assert_eq!(to_hex(&data), "0001feffa5");
+        assert_eq!(from_hex("0001FEffA5").unwrap(), data);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(from_hex("abc").is_err());
+        assert!(from_hex("zz").is_err());
+        assert!(from_hex_array::<4>("aabb").is_err());
+        assert_eq!(from_hex_array::<2>("aabb").unwrap(), [0xaa, 0xbb]);
+    }
+}

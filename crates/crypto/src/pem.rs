@@ -1,0 +1,144 @@
+//! A tiny PEM-like armor for exporting keys and certificates as text.
+//!
+//! The production CCF exchanges X.509 PEM files between operators, members
+//! and nodes; this reproduction keeps the same "copy a text blob around"
+//! workflow with a base64 armor (implemented here — no external crates).
+
+use crate::CryptoError;
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encodes bytes as standard base64 (with padding).
+pub fn base64_encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b = [chunk[0], *chunk.get(1).unwrap_or(&0), *chunk.get(2).unwrap_or(&0)];
+        let n = ((b[0] as u32) << 16) | ((b[1] as u32) << 8) | b[2] as u32;
+        out.push(ALPHABET[(n >> 18) as usize & 63] as char);
+        out.push(ALPHABET[(n >> 12) as usize & 63] as char);
+        out.push(if chunk.len() > 1 { ALPHABET[(n >> 6) as usize & 63] as char } else { '=' });
+        out.push(if chunk.len() > 2 { ALPHABET[n as usize & 63] as char } else { '=' });
+    }
+    out
+}
+
+/// Decodes standard base64 (padding required, whitespace ignored).
+pub fn base64_decode(s: &str) -> Result<Vec<u8>, CryptoError> {
+    fn val(c: u8) -> Result<u32, CryptoError> {
+        match c {
+            b'A'..=b'Z' => Ok((c - b'A') as u32),
+            b'a'..=b'z' => Ok((c - b'a' + 26) as u32),
+            b'0'..=b'9' => Ok((c - b'0' + 52) as u32),
+            b'+' => Ok(62),
+            b'/' => Ok(63),
+            _ => Err(CryptoError::Encoding("invalid base64 character")),
+        }
+    }
+    let cleaned: Vec<u8> = s.bytes().filter(|b| !b.is_ascii_whitespace()).collect();
+    if cleaned.len() % 4 != 0 {
+        return Err(CryptoError::Encoding("base64 length not a multiple of 4"));
+    }
+    let mut out = Vec::with_capacity(cleaned.len() / 4 * 3);
+    for chunk in cleaned.chunks(4) {
+        let pad = chunk.iter().filter(|&&c| c == b'=').count();
+        if pad > 2 || (pad > 0 && (chunk[..4 - pad].contains(&b'=') || chunk[2] == b'=' && chunk[3] != b'=')) {
+            return Err(CryptoError::Encoding("malformed base64 padding"));
+        }
+        let mut n: u32 = 0;
+        for (i, &c) in chunk.iter().enumerate() {
+            let v = if c == b'=' {
+                if i < 2 {
+                    return Err(CryptoError::Encoding("malformed base64 padding"));
+                }
+                0
+            } else {
+                val(c)?
+            };
+            n |= v << (18 - 6 * i);
+        }
+        out.push((n >> 16) as u8);
+        if pad < 2 {
+            out.push((n >> 8) as u8);
+        }
+        if pad < 1 {
+            out.push(n as u8);
+        }
+    }
+    Ok(out)
+}
+
+/// Wraps `data` in a PEM armor with the given label.
+pub fn pem_encode(label: &str, data: &[u8]) -> String {
+    let b64 = base64_encode(data);
+    let mut out = format!("-----BEGIN {label}-----\n");
+    for line in b64.as_bytes().chunks(64) {
+        out.push_str(std::str::from_utf8(line).unwrap());
+        out.push('\n');
+    }
+    out.push_str(&format!("-----END {label}-----\n"));
+    out
+}
+
+/// Parses a PEM armor, returning (label, data).
+pub fn pem_decode(text: &str) -> Result<(String, Vec<u8>), CryptoError> {
+    let text = text.trim();
+    let begin = text
+        .strip_prefix("-----BEGIN ")
+        .ok_or(CryptoError::Encoding("missing PEM BEGIN"))?;
+    let (label, rest) = begin
+        .split_once("-----")
+        .ok_or(CryptoError::Encoding("malformed PEM header"))?;
+    let end_marker = format!("-----END {label}-----");
+    let body = rest
+        .strip_suffix(&end_marker)
+        .ok_or(CryptoError::Encoding("missing or mismatched PEM END"))?;
+    Ok((label.to_string(), base64_decode(body)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base64_known_answers() {
+        assert_eq!(base64_encode(b""), "");
+        assert_eq!(base64_encode(b"f"), "Zg==");
+        assert_eq!(base64_encode(b"fo"), "Zm8=");
+        assert_eq!(base64_encode(b"foo"), "Zm9v");
+        assert_eq!(base64_encode(b"foob"), "Zm9vYg==");
+        assert_eq!(base64_encode(b"fooba"), "Zm9vYmE=");
+        assert_eq!(base64_encode(b"foobar"), "Zm9vYmFy");
+    }
+
+    #[test]
+    fn base64_roundtrip() {
+        for len in 0..66 {
+            let data: Vec<u8> = (0..len as u8).collect();
+            assert_eq!(base64_decode(&base64_encode(&data)).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn base64_rejects_garbage() {
+        assert!(base64_decode("a").is_err());
+        assert!(base64_decode("!!!!").is_err());
+        assert!(base64_decode("=AAA").is_err());
+    }
+
+    #[test]
+    fn pem_roundtrip() {
+        let data: Vec<u8> = (0..200).map(|i| (i * 7 % 256) as u8).collect();
+        let pem = pem_encode("CCF NODE CERTIFICATE", &data);
+        let (label, decoded) = pem_decode(&pem).unwrap();
+        assert_eq!(label, "CCF NODE CERTIFICATE");
+        assert_eq!(decoded, data);
+    }
+
+    #[test]
+    fn pem_rejects_mismatched_labels() {
+        let pem = pem_encode("A", b"x");
+        let broken = pem.replace("END A", "END B");
+        assert!(pem_decode(&broken).is_err());
+        assert!(pem_decode("not pem at all").is_err());
+    }
+}

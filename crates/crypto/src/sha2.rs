@@ -1,0 +1,490 @@
+//! SHA-256 and SHA-512 (FIPS 180-4).
+//!
+//! The round constants are the first 32/64 bits of the fractional parts of
+//! the cube roots of the first 64/80 primes, and the initial hash values are
+//! derived from square roots of the first 8 primes. Rather than hardcode
+//! those tables (and risk a silent transcription error that known-answer
+//! tests might only partially catch), this module *computes* them once at
+//! first use with exact integer root extraction (the `consts` module). The `abc`
+//! and empty-string known-answer tests then pin the whole construction.
+
+use std::sync::OnceLock;
+
+/// Computes the SHA-256 digest of `data` in one shot.
+pub fn sha256(data: &[u8]) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// Computes the SHA-512 digest of `data` in one shot.
+pub fn sha512(data: &[u8]) -> [u8; 64] {
+    let mut h = Sha512::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// Exact integer-root derivation of the FIPS 180-4 constants.
+mod consts {
+    /// Little helper: a 256-bit unsigned integer as four little-endian u64
+    /// limbs, with just enough arithmetic to compute x^2 and x^3 for
+    /// candidate roots up to ~2^70 and compare them against `p << shift`.
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    pub struct U256(pub [u64; 4]);
+
+    impl Ord for U256 {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            // Numeric order: compare from the most significant limb down.
+            self.0.iter().rev().cmp(other.0.iter().rev())
+        }
+    }
+
+    impl PartialOrd for U256 {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    impl U256 {
+        pub fn from_u128(v: u128) -> U256 {
+            U256([v as u64, (v >> 64) as u64, 0, 0])
+        }
+
+        /// `v << s` for s < 256; panics on overflow (callers stay in range).
+        pub fn shl(self, s: u32) -> U256 {
+            let mut out = [0u64; 4];
+            let limb = (s / 64) as usize;
+            let bits = s % 64;
+            for i in 0..4 {
+                if i + limb < 4 {
+                    out[i + limb] |= self.0[i] << bits;
+                    if bits > 0 && i + limb + 1 < 4 {
+                        out[i + limb + 1] |= self.0[i] >> (64 - bits);
+                    }
+                }
+            }
+            U256(out)
+        }
+
+        /// Full 256-bit multiply, panicking on overflow (inputs are small
+        /// enough here that x^3 < 2^208).
+        pub fn mul(self, rhs: U256) -> U256 {
+            let mut acc = [0u128; 8];
+            for i in 0..4 {
+                for j in 0..4 {
+                    let p = self.0[i] as u128 * rhs.0[j] as u128;
+                    acc[i + j] += p & 0xffff_ffff_ffff_ffff;
+                    if i + j + 1 < 8 {
+                        acc[i + j + 1] += p >> 64;
+                    }
+                }
+            }
+            // Carry propagation.
+            let mut out = [0u64; 8];
+            let mut carry: u128 = 0;
+            for k in 0..8 {
+                let v = acc[k] + carry;
+                out[k] = v as u64;
+                carry = v >> 64;
+            }
+            assert!(carry == 0 && out[4..].iter().all(|&w| w == 0), "U256 overflow");
+            U256([out[0], out[1], out[2], out[3]])
+        }
+    }
+
+    /// First `n` primes by trial division.
+    pub fn primes(n: usize) -> Vec<u64> {
+        let mut out = Vec::with_capacity(n);
+        let mut c = 2u64;
+        while out.len() < n {
+            if out.iter().all(|&p| c % p != 0) {
+                out.push(c);
+            }
+            c += 1;
+        }
+        out
+    }
+
+    /// floor(root_k(p * 2^shift)) via binary search with exact arithmetic.
+    /// The scaled root can exceed 64 bits (e.g. floor(cbrt(p)·2^64) for the
+    /// SHA-512 constants is up to ~7·2^64), hence u128.
+    fn int_root(p: u64, shift: u32, k: u32) -> u128 {
+        let target = U256::from_u128(p as u128).shl(shift);
+        // root < 2^(ceil((log2(p) + shift) / k) + 1)
+        let bits = 64 - p.leading_zeros() + shift;
+        let mut hi: u128 = 1u128 << (bits / k + 1).min(127);
+        let mut lo: u128 = 0;
+        while lo < hi {
+            let mid = lo + (hi - lo + 1) / 2;
+            let m = U256::from_u128(mid);
+            let mut pow = m;
+            for _ in 1..k {
+                pow = pow.mul(m);
+            }
+            if pow <= target {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        lo
+    }
+
+    /// frac(root(p)) * 2^bits, truncated: taking the scaled root modulo
+    /// 2^bits removes the (small) integer part, which only contributes
+    /// whole multiples of 2^bits.
+    fn root_frac(p: u64, bits: u32, k: u32) -> u64 {
+        let root = int_root(p, k * bits, k);
+        (root & ((1u128 << bits) - 1)) as u64
+    }
+
+    /// frac(cbrt(p)) * 2^bits, truncated — the K round constants.
+    pub fn cbrt_frac(p: u64, bits: u32) -> u64 {
+        root_frac(p, bits, 3)
+    }
+
+    /// frac(sqrt(p)) * 2^bits, truncated — the H initial values.
+    pub fn sqrt_frac(p: u64, bits: u32) -> u64 {
+        root_frac(p, bits, 2)
+    }
+}
+
+fn k256() -> &'static [u32; 64] {
+    static K: OnceLock<[u32; 64]> = OnceLock::new();
+    K.get_or_init(|| {
+        let ps = consts::primes(64);
+        let mut k = [0u32; 64];
+        for (i, &p) in ps.iter().enumerate() {
+            k[i] = consts::cbrt_frac(p, 32) as u32;
+        }
+        k
+    })
+}
+
+fn h256() -> &'static [u32; 8] {
+    static H: OnceLock<[u32; 8]> = OnceLock::new();
+    H.get_or_init(|| {
+        let ps = consts::primes(8);
+        let mut h = [0u32; 8];
+        for (i, &p) in ps.iter().enumerate() {
+            h[i] = consts::sqrt_frac(p, 32) as u32;
+        }
+        h
+    })
+}
+
+fn k512() -> &'static [u64; 80] {
+    static K: OnceLock<[u64; 80]> = OnceLock::new();
+    K.get_or_init(|| {
+        let ps = consts::primes(80);
+        let mut k = [0u64; 80];
+        for (i, &p) in ps.iter().enumerate() {
+            k[i] = consts::cbrt_frac(p, 64);
+        }
+        k
+    })
+}
+
+fn h512() -> &'static [u64; 8] {
+    static H: OnceLock<[u64; 8]> = OnceLock::new();
+    H.get_or_init(|| {
+        let ps = consts::primes(8);
+        let mut h = [0u64; 8];
+        for (i, &p) in ps.iter().enumerate() {
+            h[i] = consts::sqrt_frac(p, 64);
+        }
+        h
+    })
+}
+
+/// Incremental SHA-256 hasher.
+#[derive(Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    buf: [u8; 64],
+    buf_len: usize,
+    total_len: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// Creates a hasher in the initial state.
+    pub fn new() -> Self {
+        Sha256 { state: *h256(), buf: [0; 64], buf_len: 0, total_len: 0 }
+    }
+
+    /// Absorbs `data`.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        if self.buf_len > 0 {
+            let take = (64 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+            if data.is_empty() {
+                return; // buffer state is already correct
+            }
+        }
+        while data.len() >= 64 {
+            let (block, rest) = data.split_at(64);
+            self.compress(block.try_into().unwrap());
+            data = rest;
+        }
+        self.buf[..data.len()].copy_from_slice(data);
+        self.buf_len = data.len();
+    }
+
+    /// Completes the hash and returns the 32-byte digest.
+    pub fn finalize(mut self) -> [u8; 32] {
+        let bit_len = self.total_len.wrapping_mul(8);
+        self.update(&[0x80]);
+        // Cancel the length accounting for padding bytes.
+        self.total_len = self.total_len.wrapping_sub(1);
+        while self.buf_len != 56 {
+            self.update(&[0]);
+            self.total_len = self.total_len.wrapping_sub(1);
+        }
+        self.update(&bit_len.to_be_bytes());
+        let mut out = [0u8; 32];
+        for (i, w) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&w.to_be_bytes());
+        }
+        out
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let k = k256();
+        let mut w = [0u32; 64];
+        for i in 0..16 {
+            w[i] = u32::from_be_bytes(block[i * 4..i * 4 + 4].try_into().unwrap());
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(k[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        for (s, v) in self.state.iter_mut().zip([a, b, c, d, e, f, g, h]) {
+            *s = s.wrapping_add(v);
+        }
+    }
+}
+
+/// Incremental SHA-512 hasher.
+#[derive(Clone)]
+pub struct Sha512 {
+    state: [u64; 8],
+    buf: [u8; 128],
+    buf_len: usize,
+    total_len: u128,
+}
+
+impl Default for Sha512 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha512 {
+    /// Creates a hasher in the initial state.
+    pub fn new() -> Self {
+        Sha512 { state: *h512(), buf: [0; 128], buf_len: 0, total_len: 0 }
+    }
+
+    /// Absorbs `data`.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u128);
+        if self.buf_len > 0 {
+            let take = (128 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 128 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+            if data.is_empty() {
+                return; // buffer state is already correct
+            }
+        }
+        while data.len() >= 128 {
+            let (block, rest) = data.split_at(128);
+            self.compress(block.try_into().unwrap());
+            data = rest;
+        }
+        self.buf[..data.len()].copy_from_slice(data);
+        self.buf_len = data.len();
+    }
+
+    /// Completes the hash and returns the 64-byte digest.
+    pub fn finalize(mut self) -> [u8; 64] {
+        let bit_len = self.total_len.wrapping_mul(8);
+        self.update(&[0x80]);
+        self.total_len = self.total_len.wrapping_sub(1);
+        while self.buf_len != 112 {
+            self.update(&[0]);
+            self.total_len = self.total_len.wrapping_sub(1);
+        }
+        self.update(&bit_len.to_be_bytes());
+        let mut out = [0u8; 64];
+        for (i, w) in self.state.iter().enumerate() {
+            out[i * 8..i * 8 + 8].copy_from_slice(&w.to_be_bytes());
+        }
+        out
+    }
+
+    fn compress(&mut self, block: &[u8; 128]) {
+        let k = k512();
+        let mut w = [0u64; 80];
+        for i in 0..16 {
+            w[i] = u64::from_be_bytes(block[i * 8..i * 8 + 8].try_into().unwrap());
+        }
+        for i in 16..80 {
+            let s0 = w[i - 15].rotate_right(1) ^ w[i - 15].rotate_right(8) ^ (w[i - 15] >> 7);
+            let s1 = w[i - 2].rotate_right(19) ^ w[i - 2].rotate_right(61) ^ (w[i - 2] >> 6);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..80 {
+            let s1 = e.rotate_right(14) ^ e.rotate_right(18) ^ e.rotate_right(41);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(k[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(28) ^ a.rotate_right(34) ^ a.rotate_right(39);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        for (s, v) in self.state.iter_mut().zip([a, b, c, d, e, f, g, h]) {
+            *s = s.wrapping_add(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex::to_hex;
+
+    #[test]
+    fn derived_constants_match_fips() {
+        // Spot-check the derived tables against well-known values.
+        assert_eq!(k256()[0], 0x428a2f98);
+        assert_eq!(k256()[63], 0xc67178f2);
+        assert_eq!(h256()[0], 0x6a09e667);
+        assert_eq!(h256()[7], 0x5be0cd19);
+        assert_eq!(k512()[0], 0x428a2f98d728ae22);
+        assert_eq!(h512()[0], 0x6a09e667f3bcc908);
+        // SHA-512's K constants extend SHA-256's K with more fractional bits.
+        for i in 0..64 {
+            assert_eq!((k512()[i] >> 32) as u32, k256()[i], "K[{i}] prefix");
+        }
+    }
+
+    #[test]
+    fn sha256_known_answers() {
+        assert_eq!(
+            to_hex(&sha256(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(
+            to_hex(&sha256(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            to_hex(&sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn sha256_million_a() {
+        let mut h = Sha256::new();
+        let chunk = [b'a'; 1000];
+        for _ in 0..1000 {
+            h.update(&chunk);
+        }
+        assert_eq!(
+            to_hex(&h.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn sha512_known_answers() {
+        assert_eq!(
+            to_hex(&sha512(b"abc")),
+            "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a\
+             2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f"
+                .replace(' ', "")
+        );
+        assert_eq!(
+            to_hex(&sha512(b"")),
+            "cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce9ce\
+             47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af927da3e"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        for split in [0, 1, 63, 64, 65, 127, 128, 129, 999, 1000] {
+            let mut h = Sha256::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), sha256(&data), "split {split}");
+
+            let mut h = Sha512::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), sha512(&data), "split {split}");
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Shamir k-of-n secret sharing over GF(2^8), applied byte-wise.
+//!
+//! CCF splits the *ledger secret wrapping key* into n recovery shares, one
+//! per consortium member, such that any k reconstruct it and fewer than k
+//! reveal nothing (§5.2). Each output share carries its x-coordinate so
+//! shares can be submitted in any order and any subset.
+
+use crate::aes::gf_mul;
+use crate::chacha::ChaChaRng;
+use crate::CryptoError;
+
+/// GF(2^8) inverse by exhaustive search over the 255 non-zero elements
+/// (tiny domain; clarity over speed).
+fn gf_inv(a: u8) -> u8 {
+    assert!(a != 0, "zero has no inverse");
+    for b in 1..=255u8 {
+        if gf_mul(a, b) == 1 {
+            return b;
+        }
+    }
+    unreachable!("GF(2^8) is a field")
+}
+
+/// One share: the evaluation point x (1..=255) and one byte of polynomial
+/// evaluation per secret byte.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Share {
+    /// Evaluation point, unique per share, never zero.
+    pub x: u8,
+    /// y_i = f_i(x) for each byte position i of the secret.
+    pub y: Vec<u8>,
+}
+
+impl Share {
+    /// Serializes as x || y bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(1 + self.y.len());
+        out.push(self.x);
+        out.extend_from_slice(&self.y);
+        out
+    }
+
+    /// Parses the [`Share::to_bytes`] layout.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Share, CryptoError> {
+        if bytes.is_empty() {
+            return Err(CryptoError::BadShares("empty share"));
+        }
+        if bytes[0] == 0 {
+            return Err(CryptoError::BadShares("share x-coordinate must be non-zero"));
+        }
+        Ok(Share { x: bytes[0], y: bytes[1..].to_vec() })
+    }
+}
+
+/// Splits `secret` into `n` shares with reconstruction threshold `k`.
+///
+/// For each byte s of the secret, a random degree-(k-1) polynomial f with
+/// f(0) = s is sampled and evaluated at x = 1..=n.
+pub fn split(
+    secret: &[u8],
+    k: usize,
+    n: usize,
+    rng: &mut ChaChaRng,
+) -> Result<Vec<Share>, CryptoError> {
+    if k == 0 || k > n {
+        return Err(CryptoError::BadShares("threshold must satisfy 1 <= k <= n"));
+    }
+    if n > 255 {
+        return Err(CryptoError::BadShares("at most 255 shares"));
+    }
+    let mut shares: Vec<Share> =
+        (1..=n as u8).map(|x| Share { x, y: Vec::with_capacity(secret.len()) }).collect();
+    for &s in secret {
+        // coeffs[0] = s, higher coefficients random; the top coefficient of
+        // a degree-(k-1) polynomial may legitimately be zero (the secrecy
+        // argument does not require otherwise).
+        let mut coeffs = vec![0u8; k];
+        coeffs[0] = s;
+        for c in coeffs.iter_mut().skip(1) {
+            let mut b = [0u8; 1];
+            rng.fill_bytes(&mut b);
+            *c = b[0];
+        }
+        for share in shares.iter_mut() {
+            // Horner evaluation at x.
+            let mut acc = 0u8;
+            for &c in coeffs.iter().rev() {
+                acc = gf_mul(acc, share.x) ^ c;
+            }
+            share.y.push(acc);
+        }
+    }
+    Ok(shares)
+}
+
+/// Reconstructs the secret from at least `k` shares via Lagrange
+/// interpolation at x = 0. Supplying fewer than `k` *valid* shares yields
+/// garbage, not an error — the threshold is enforced by the caller knowing
+/// k; this function only checks structural validity.
+pub fn combine(shares: &[Share]) -> Result<Vec<u8>, CryptoError> {
+    if shares.is_empty() {
+        return Err(CryptoError::BadShares("no shares"));
+    }
+    let len = shares[0].y.len();
+    if shares.iter().any(|s| s.y.len() != len) {
+        return Err(CryptoError::BadShares("inconsistent share lengths"));
+    }
+    let mut seen = [false; 256];
+    for s in shares {
+        if s.x == 0 {
+            return Err(CryptoError::BadShares("share x-coordinate must be non-zero"));
+        }
+        if seen[s.x as usize] {
+            return Err(CryptoError::BadShares("duplicate x-coordinate"));
+        }
+        seen[s.x as usize] = true;
+    }
+    let mut secret = Vec::with_capacity(len);
+    for i in 0..len {
+        let mut acc = 0u8;
+        for (j, sj) in shares.iter().enumerate() {
+            // Lagrange basis at 0: prod_{m != j} x_m / (x_m ^ x_j)
+            // (subtraction == XOR in GF(2^8)).
+            let mut num = 1u8;
+            let mut den = 1u8;
+            for (m, sm) in shares.iter().enumerate() {
+                if m == j {
+                    continue;
+                }
+                num = gf_mul(num, sm.x);
+                den = gf_mul(den, sm.x ^ sj.x);
+            }
+            acc ^= gf_mul(sj.y[i], gf_mul(num, gf_inv(den)));
+        }
+        secret.push(acc);
+    }
+    Ok(secret)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_and_combine_exact_threshold() {
+        let mut rng = ChaChaRng::seed_from_u64(21);
+        let secret = b"ledger secret wrapping key bytes";
+        let shares = split(secret, 3, 5, &mut rng).unwrap();
+        assert_eq!(shares.len(), 5);
+        assert_eq!(combine(&shares[..3]).unwrap(), secret);
+        assert_eq!(combine(&shares[2..]).unwrap(), secret);
+        assert_eq!(combine(&shares).unwrap(), secret);
+        // Any subset of size 3 works.
+        let subset = [shares[0].clone(), shares[2].clone(), shares[4].clone()];
+        assert_eq!(combine(&subset).unwrap(), secret);
+    }
+
+    #[test]
+    fn below_threshold_reveals_nothing_useful() {
+        let mut rng = ChaChaRng::seed_from_u64(22);
+        let secret = [0xABu8; 16];
+        let shares = split(&secret, 3, 5, &mut rng).unwrap();
+        // With 2 of 3 shares the "reconstruction" must not equal the secret
+        // (probability of coincidence is 2^-128 per byte pattern).
+        let wrong = combine(&shares[..2]).unwrap();
+        assert_ne!(wrong, secret);
+    }
+
+    #[test]
+    fn k_equals_one_and_k_equals_n() {
+        let mut rng = ChaChaRng::seed_from_u64(23);
+        let secret = b"s";
+        let shares = split(secret, 1, 4, &mut rng).unwrap();
+        assert_eq!(combine(&shares[..1]).unwrap(), secret);
+        let shares = split(secret, 4, 4, &mut rng).unwrap();
+        assert_eq!(combine(&shares).unwrap(), secret);
+    }
+
+    #[test]
+    fn structural_validation() {
+        assert!(split(b"x", 0, 3, &mut ChaChaRng::seed_from_u64(0)).is_err());
+        assert!(split(b"x", 4, 3, &mut ChaChaRng::seed_from_u64(0)).is_err());
+        assert!(combine(&[]).is_err());
+        let a = Share { x: 1, y: vec![1, 2] };
+        let b = Share { x: 1, y: vec![3, 4] };
+        assert!(combine(&[a.clone(), b]).is_err()); // duplicate x
+        let c = Share { x: 2, y: vec![3] };
+        assert!(combine(&[a.clone(), c]).is_err()); // length mismatch
+        let z = Share { x: 0, y: vec![0, 0] };
+        assert!(combine(&[z]).is_err());
+        assert!(Share::from_bytes(&[]).is_err());
+        assert!(Share::from_bytes(&[0, 1]).is_err());
+        assert_eq!(Share::from_bytes(&a.to_bytes()).unwrap(), a);
+    }
+
+    #[test]
+    fn empty_secret() {
+        let mut rng = ChaChaRng::seed_from_u64(24);
+        let shares = split(b"", 2, 3, &mut rng).unwrap();
+        assert_eq!(combine(&shares[..2]).unwrap(), b"");
+    }
+
+    #[test]
+    fn gf_inverse_table() {
+        for a in 1..=255u8 {
+            assert_eq!(gf_mul(a, gf_inv(a)), 1);
+        }
+    }
+}

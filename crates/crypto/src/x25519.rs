@@ -1,0 +1,187 @@
+//! X25519 Diffie-Hellman (RFC 7748) and an ECIES-style sealed box.
+//!
+//! CCF uses Diffie-Hellman for node-to-node channel keys (§7) and encrypts
+//! recovery shares to consortium members' public encryption keys (§5.2,
+//! where the paper uses RSA-OAEP; see DESIGN.md's substitution table).
+
+use crate::chacha::ChaChaRng;
+use crate::field25519::Fe;
+use crate::gcm::AesGcm256;
+use crate::hmac::hkdf;
+use crate::CryptoError;
+
+/// The base point u = 9 of the Montgomery curve.
+pub const BASE: [u8; 32] = {
+    let mut b = [0u8; 32];
+    b[0] = 9;
+    b
+};
+
+/// Clamps a 32-byte scalar per RFC 7748.
+fn clamp(mut k: [u8; 32]) -> [u8; 32] {
+    k[0] &= 248;
+    k[31] &= 127;
+    k[31] |= 64;
+    k
+}
+
+/// X25519 scalar multiplication: `scalar` · point with u-coordinate `u`.
+pub fn x25519(scalar: &[u8; 32], u: &[u8; 32]) -> [u8; 32] {
+    let k = clamp(*scalar);
+    let x1 = Fe::from_bytes(u); // masks the top bit per RFC 7748
+    let mut x2 = Fe::ONE;
+    let mut z2 = Fe::ZERO;
+    let mut x3 = x1;
+    let mut z3 = Fe::ONE;
+    let mut swap = 0u8;
+    let a24 = Fe::from_u64(121665);
+
+    for t in (0..255).rev() {
+        let k_t = (k[t / 8] >> (t % 8)) & 1;
+        swap ^= k_t;
+        if swap == 1 {
+            std::mem::swap(&mut x2, &mut x3);
+            std::mem::swap(&mut z2, &mut z3);
+        }
+        swap = k_t;
+
+        let a = x2.add(z2);
+        let aa = a.square();
+        let b = x2.sub(z2);
+        let bb = b.square();
+        let e = aa.sub(bb);
+        let c = x3.add(z3);
+        let dd = x3.sub(z3);
+        let da = dd.mul(a);
+        let cb = c.mul(b);
+        x3 = da.add(cb).square();
+        z3 = x1.mul(da.sub(cb).square());
+        x2 = aa.mul(bb);
+        z2 = e.mul(aa.add(a24.mul(e)));
+    }
+    if swap == 1 {
+        std::mem::swap(&mut x2, &mut x3);
+        std::mem::swap(&mut z2, &mut z3);
+    }
+    x2.mul(z2.invert()).to_bytes()
+}
+
+/// An X25519 key pair for key agreement.
+#[derive(Clone)]
+pub struct DhKeyPair {
+    secret: [u8; 32],
+    /// The public u-coordinate.
+    pub public: [u8; 32],
+}
+
+impl std::fmt::Debug for DhKeyPair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DhKeyPair(pub {})", crate::hex::to_hex(&self.public[..8]))
+    }
+}
+
+impl DhKeyPair {
+    /// Generates a fresh key pair.
+    pub fn generate(rng: &mut ChaChaRng) -> DhKeyPair {
+        DhKeyPair::from_secret(rng.gen_seed())
+    }
+
+    /// Derives the key pair from a fixed secret (for deterministic tests).
+    pub fn from_secret(secret: [u8; 32]) -> DhKeyPair {
+        let public = x25519(&secret, &BASE);
+        DhKeyPair { secret, public }
+    }
+
+    /// Computes the shared secret with a peer's public key.
+    pub fn agree(&self, peer_public: &[u8; 32]) -> [u8; 32] {
+        x25519(&self.secret, peer_public)
+    }
+}
+
+/// Encrypts `plaintext` to `recipient_public` so that only the holder of
+/// the matching secret can read it: ephemeral X25519 + HKDF + AES-256-GCM.
+/// Output layout: ephemeral_public (32) || ciphertext || tag (16).
+pub fn seal_box(
+    rng: &mut ChaChaRng,
+    recipient_public: &[u8; 32],
+    aad: &[u8],
+    plaintext: &[u8],
+) -> Vec<u8> {
+    let eph = DhKeyPair::generate(rng);
+    let shared = eph.agree(recipient_public);
+    let mut salt = Vec::with_capacity(64);
+    salt.extend_from_slice(&eph.public);
+    salt.extend_from_slice(recipient_public);
+    let key: [u8; 32] = hkdf(&salt, &shared, b"ccf-sealed-box", 32).try_into().unwrap();
+    let gcm = AesGcm256::new(&key);
+    let mut out = eph.public.to_vec();
+    out.extend_from_slice(&gcm.seal(&[0u8; 12], aad, plaintext));
+    out
+}
+
+/// Opens a sealed box produced by [`seal_box`].
+pub fn open_box(
+    recipient: &DhKeyPair,
+    aad: &[u8],
+    sealed: &[u8],
+) -> Result<Vec<u8>, CryptoError> {
+    if sealed.len() < 32 + crate::gcm::TAG_LEN {
+        return Err(CryptoError::InvalidLength { expected: 48, got: sealed.len() });
+    }
+    let eph_public: [u8; 32] = sealed[..32].try_into().unwrap();
+    let shared = recipient.agree(&eph_public);
+    let mut salt = Vec::with_capacity(64);
+    salt.extend_from_slice(&eph_public);
+    salt.extend_from_slice(&recipient.public);
+    let key: [u8; 32] = hkdf(&salt, &shared, b"ccf-sealed-box", 32).try_into().unwrap();
+    let gcm = AesGcm256::new(&key);
+    gcm.open(&[0u8; 12], aad, &sealed[32..])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dh_agreement() {
+        let mut rng = ChaChaRng::seed_from_u64(11);
+        let alice = DhKeyPair::generate(&mut rng);
+        let bob = DhKeyPair::generate(&mut rng);
+        assert_eq!(alice.agree(&bob.public), bob.agree(&alice.public));
+        let carol = DhKeyPair::generate(&mut rng);
+        assert_ne!(alice.agree(&bob.public), alice.agree(&carol.public));
+    }
+
+    #[test]
+    fn ladder_linearity() {
+        // (a·b)·G reached via either order of application.
+        let a = clamp([3u8; 32]);
+        let b = clamp([5u8; 32]);
+        let ag = x25519(&a, &BASE);
+        let bg = x25519(&b, &BASE);
+        assert_eq!(x25519(&b, &ag), x25519(&a, &bg));
+    }
+
+    #[test]
+    fn sealed_box_roundtrip() {
+        let mut rng = ChaChaRng::seed_from_u64(12);
+        let member = DhKeyPair::generate(&mut rng);
+        let share = b"recovery share #3 payload";
+        let sealed = seal_box(&mut rng, &member.public, b"recovery", share);
+        assert_eq!(open_box(&member, b"recovery", &sealed).unwrap(), share);
+    }
+
+    #[test]
+    fn sealed_box_wrong_recipient_or_aad_fails() {
+        let mut rng = ChaChaRng::seed_from_u64(13);
+        let member = DhKeyPair::generate(&mut rng);
+        let wrong = DhKeyPair::generate(&mut rng);
+        let sealed = seal_box(&mut rng, &member.public, b"ctx", b"secret");
+        assert!(open_box(&wrong, b"ctx", &sealed).is_err());
+        assert!(open_box(&member, b"other", &sealed).is_err());
+        let mut tampered = sealed.clone();
+        *tampered.last_mut().unwrap() ^= 1;
+        assert!(open_box(&member, b"ctx", &tampered).is_err());
+        assert!(open_box(&member, b"ctx", &sealed[..40]).is_err());
+    }
+}

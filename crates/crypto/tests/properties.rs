@@ -1,0 +1,141 @@
+//! Property-based tests over the cryptographic primitives: roundtrips,
+//! tamper-rejection, and algebraic laws over arbitrary inputs.
+
+use ccf_crypto::chacha::ChaChaRng;
+use ccf_crypto::gcm::AesGcm256;
+use ccf_crypto::hex::{from_hex, to_hex};
+use ccf_crypto::pem::{base64_decode, base64_encode, pem_decode, pem_encode};
+use ccf_crypto::sha2::{sha256, Sha256};
+use ccf_crypto::shamir;
+use ccf_crypto::SigningKey;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hex_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        prop_assert_eq!(from_hex(&to_hex(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn base64_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        prop_assert_eq!(base64_decode(&base64_encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn pem_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let pem = pem_encode("TEST BLOB", &data);
+        let (label, decoded) = pem_decode(&pem).unwrap();
+        prop_assert_eq!(label, "TEST BLOB");
+        prop_assert_eq!(decoded, data);
+    }
+
+    #[test]
+    fn sha256_incremental_equals_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 0..1024),
+        splits in proptest::collection::vec(0usize..1024, 0..5),
+    ) {
+        let mut h = Sha256::new();
+        let mut cuts: Vec<usize> = splits.into_iter().map(|s| s % (data.len() + 1)).collect();
+        cuts.sort_unstable();
+        let mut prev = 0;
+        for cut in cuts {
+            h.update(&data[prev..cut]);
+            prev = cut;
+        }
+        h.update(&data[prev..]);
+        prop_assert_eq!(h.finalize(), sha256(&data));
+    }
+
+    #[test]
+    fn gcm_seal_open_roundtrip(
+        key in any::<[u8; 32]>(),
+        nonce in any::<[u8; 12]>(),
+        aad in proptest::collection::vec(any::<u8>(), 0..64),
+        plaintext in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let gcm = AesGcm256::new(&key);
+        let sealed = gcm.seal(&nonce, &aad, &plaintext);
+        prop_assert_eq!(gcm.open(&nonce, &aad, &sealed).unwrap(), plaintext);
+    }
+
+    #[test]
+    fn gcm_rejects_any_single_bitflip(
+        key in any::<[u8; 32]>(),
+        plaintext in proptest::collection::vec(any::<u8>(), 1..64),
+        flip_byte in 0usize..64,
+        flip_bit in 0u8..8,
+    ) {
+        let gcm = AesGcm256::new(&key);
+        let nonce = [7u8; 12];
+        let mut sealed = gcm.seal(&nonce, b"aad", &plaintext);
+        let idx = flip_byte % sealed.len();
+        sealed[idx] ^= 1 << flip_bit;
+        prop_assert!(gcm.open(&nonce, b"aad", &sealed).is_err());
+    }
+
+    #[test]
+    fn ed25519_sign_verify_any_message(
+        seed in any::<[u8; 32]>(),
+        msg in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let key = SigningKey::from_seed(seed);
+        let sig = key.sign(&msg);
+        prop_assert!(key.verifying_key().verify(&msg, &sig).is_ok());
+        // A different message must not verify.
+        let mut other = msg.clone();
+        other.push(0x42);
+        prop_assert!(key.verifying_key().verify(&other, &sig).is_err());
+    }
+
+    #[test]
+    fn shamir_any_threshold_subset(
+        secret in proptest::collection::vec(any::<u8>(), 1..48),
+        k in 1usize..5,
+        extra in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        let n = k + extra;
+        let mut rng = ChaChaRng::seed_from_u64(seed);
+        let shares = shamir::split(&secret, k, n, &mut rng).unwrap();
+        // Any k-subset reconstructs (take a pseudo-random one).
+        let mut idx: Vec<usize> = (0..n).collect();
+        // rotate deterministically by seed for subset variety
+        idx.rotate_left((seed as usize) % n);
+        let subset: Vec<_> = idx.into_iter().take(k).map(|i| shares[i].clone()).collect();
+        prop_assert_eq!(shamir::combine(&subset).unwrap(), secret);
+    }
+
+    #[test]
+    fn x25519_agreement_always_matches(a in any::<[u8; 32]>(), b in any::<[u8; 32]>()) {
+        use ccf_crypto::x25519::DhKeyPair;
+        let ka = DhKeyPair::from_secret(a);
+        let kb = DhKeyPair::from_secret(b);
+        prop_assert_eq!(ka.agree(&kb.public), kb.agree(&ka.public));
+    }
+
+    #[test]
+    fn scalar_ring_laws_hold(a in any::<[u8; 32]>(), b in any::<[u8; 32]>(), c in any::<[u8; 32]>()) {
+        use ccf_crypto::bignum::Scalar;
+        let a = Scalar::from_bytes_reduced(&a);
+        let b = Scalar::from_bytes_reduced(&b);
+        let c = Scalar::from_bytes_reduced(&c);
+        prop_assert_eq!(a.add(b), b.add(a));
+        prop_assert_eq!(a.mul(b), b.mul(a));
+        prop_assert_eq!(a.mul(b.add(c)), a.mul(b).add(a.mul(c)));
+    }
+
+    #[test]
+    fn field_laws_hold(a in any::<[u8; 32]>(), b in any::<[u8; 32]>()) {
+        use ccf_crypto::field25519::Fe;
+        let a = Fe::from_bytes(&a);
+        let b = Fe::from_bytes(&b);
+        prop_assert_eq!(a.mul(b), b.mul(a));
+        prop_assert_eq!(a.add(b), b.add(a));
+        prop_assert_eq!(a.sub(a), Fe::ZERO);
+        if !a.is_zero() {
+            prop_assert_eq!(a.mul(a.invert()), Fe::ONE);
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! Proposals, ballots and their lifecycle (paper §5.1, Listing 2).
+//!
+//! A proposal is a JSON document `{"actions": [{"name": …, "args": …}]}` —
+//! "succinct JSON documents so that they are easy to inspect offline". A
+//! ballot is a small CScript program `function vote(proposal, proposer_id)`
+//! returning a boolean, evaluated against the proposal at resolve time
+//! (so votes can be conditional on the proposal's content).
+
+use crate::MemberId;
+use ccf_crypto::sha2::sha256;
+use ccf_script::{parse_json, to_json, Value};
+use std::collections::BTreeMap;
+
+/// A proposal identifier: hex digest of the signed proposal payload.
+pub type ProposalId = String;
+
+/// Derives the proposal ID from the raw signed payload bytes.
+pub fn proposal_id_of(payload: &[u8]) -> ProposalId {
+    ccf_crypto::hex::to_hex(&sha256(payload))
+}
+
+/// One action invocation within a proposal.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ActionInvocation {
+    /// The action name (must exist in the constitution, Table 4).
+    pub name: String,
+    /// The action's arguments.
+    pub args: Value,
+}
+
+/// A parsed proposal.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Proposal {
+    /// The actions, applied in order if accepted.
+    pub actions: Vec<ActionInvocation>,
+}
+
+impl Proposal {
+    /// Builds a proposal from actions.
+    pub fn new(actions: Vec<ActionInvocation>) -> Proposal {
+        Proposal { actions }
+    }
+
+    /// Convenience: a single-action proposal.
+    pub fn single(name: &str, args: Value) -> Proposal {
+        Proposal::new(vec![ActionInvocation { name: name.to_string(), args }])
+    }
+
+    /// Parses the JSON form.
+    pub fn from_json(text: &str) -> Result<Proposal, String> {
+        let doc = parse_json(text)?;
+        let actions = doc
+            .get("actions")
+            .and_then(|a| a.as_arr().map(|s| s.to_vec()))
+            .ok_or("proposal must have an `actions` array")?;
+        let mut out = Vec::with_capacity(actions.len());
+        for action in actions {
+            let name = action
+                .get("name")
+                .and_then(|n| n.as_str().map(str::to_string))
+                .ok_or("each action needs a string `name`")?;
+            let args = action.get("args").cloned().unwrap_or(Value::Null);
+            out.push(ActionInvocation { name, args });
+        }
+        Ok(Proposal { actions: out })
+    }
+
+    /// Serializes to canonical JSON.
+    pub fn to_json(&self) -> String {
+        let actions: Vec<Value> = self
+            .actions
+            .iter()
+            .map(|a| {
+                Value::obj([
+                    ("name".to_string(), Value::str(a.name.clone())),
+                    ("args".to_string(), a.args.clone()),
+                ])
+            })
+            .collect();
+        to_json(&Value::obj([("actions".to_string(), Value::arr(actions))]))
+    }
+
+    /// The JSON value form (for handing to constitution scripts).
+    pub fn to_value(&self) -> Value {
+        parse_json(&self.to_json()).expect("canonical JSON reparses")
+    }
+}
+
+/// The lifecycle state of a proposal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProposalState {
+    /// Accepting ballots.
+    Open,
+    /// Accepted and applied.
+    Accepted,
+    /// Resolved as rejected.
+    Rejected,
+    /// Withdrawn by the proposer.
+    Withdrawn,
+    /// Invalidated (e.g. by a competing accepted proposal, Listing 1).
+    Dropped,
+    /// Accepted but its application failed (state unchanged).
+    Failed,
+}
+
+impl ProposalState {
+    /// The string form stored in `proposals_info`.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ProposalState::Open => "Open",
+            ProposalState::Accepted => "Accepted",
+            ProposalState::Rejected => "Rejected",
+            ProposalState::Withdrawn => "Withdrawn",
+            ProposalState::Dropped => "Dropped",
+            ProposalState::Failed => "Failed",
+        }
+    }
+
+    /// Parses the string form.
+    pub fn parse(s: &str) -> Option<ProposalState> {
+        match s {
+            "Open" => Some(ProposalState::Open),
+            "Accepted" => Some(ProposalState::Accepted),
+            "Rejected" => Some(ProposalState::Rejected),
+            "Withdrawn" => Some(ProposalState::Withdrawn),
+            "Dropped" => Some(ProposalState::Dropped),
+            "Failed" => Some(ProposalState::Failed),
+            _ => None,
+        }
+    }
+
+    /// True when the proposal can no longer change state.
+    pub fn is_final(&self) -> bool {
+        !matches!(self, ProposalState::Open)
+    }
+}
+
+/// A ballot: a CScript `vote` function, stored verbatim on the ledger
+/// (Listing 2 shows exactly this shape).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Ballot {
+    /// The ballot script source.
+    pub script: String,
+}
+
+impl Ballot {
+    /// The canonical unconditional-yes ballot from Listing 2.
+    pub fn approve() -> Ballot {
+        Ballot { script: "function vote(proposal, proposer_id) { return true; }".to_string() }
+    }
+
+    /// The unconditional-no ballot.
+    pub fn reject() -> Ballot {
+        Ballot { script: "function vote(proposal, proposer_id) { return false; }".to_string() }
+    }
+
+    /// A custom conditional ballot.
+    pub fn custom(script: impl Into<String>) -> Ballot {
+        Ballot { script: script.into() }
+    }
+
+    /// Evaluates the ballot against a proposal. Errors count as `false`
+    /// (a malformed ballot must not accept anything).
+    pub fn evaluate(&self, proposal: &Proposal, proposer: &MemberId) -> bool {
+        ccf_script::run(
+            &self.script,
+            "vote",
+            vec![proposal.to_value(), Value::str(proposer.clone())],
+            &mut ccf_script::NoHost,
+            100_000,
+        )
+        .map(|v| v.truthy())
+        .unwrap_or(false)
+    }
+}
+
+/// The recorded metadata for a proposal (`proposals_info` map).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProposalInfo {
+    /// Who proposed it.
+    pub proposer: MemberId,
+    /// Current lifecycle state.
+    pub state: ProposalState,
+    /// Submitted ballots by member.
+    pub ballots: BTreeMap<MemberId, Ballot>,
+    /// The evaluated votes at final resolution (Listing 2's
+    /// `final_votes`).
+    pub final_votes: BTreeMap<MemberId, bool>,
+}
+
+impl ProposalInfo {
+    /// A fresh open proposal.
+    pub fn open(proposer: MemberId) -> ProposalInfo {
+        ProposalInfo {
+            proposer,
+            state: ProposalState::Open,
+            ballots: BTreeMap::new(),
+            final_votes: BTreeMap::new(),
+        }
+    }
+
+    /// JSON encoding for the map.
+    pub fn to_json(&self) -> String {
+        let ballots: BTreeMap<String, Value> = self
+            .ballots
+            .iter()
+            .map(|(m, b)| (m.clone(), Value::str(b.script.clone())))
+            .collect();
+        let votes: BTreeMap<String, Value> =
+            self.final_votes.iter().map(|(m, v)| (m.clone(), Value::Bool(*v))).collect();
+        to_json(&Value::obj([
+            ("proposer_id".to_string(), Value::str(self.proposer.clone())),
+            ("state".to_string(), Value::str(self.state.as_str())),
+            ("ballots".to_string(), Value::obj(ballots)),
+            ("final_votes".to_string(), Value::obj(votes)),
+        ]))
+    }
+
+    /// Parses [`ProposalInfo::to_json`].
+    pub fn from_json(text: &str) -> Result<ProposalInfo, String> {
+        let doc = parse_json(text)?;
+        let proposer = doc
+            .get("proposer_id")
+            .and_then(|v| v.as_str().map(str::to_string))
+            .ok_or("missing proposer_id")?;
+        let state = doc
+            .get("state")
+            .and_then(|v| v.as_str())
+            .and_then(ProposalState::parse)
+            .ok_or("missing/invalid state")?;
+        let mut ballots = BTreeMap::new();
+        if let Some(obj) = doc.get("ballots").and_then(|v| v.as_obj()) {
+            for (m, s) in obj {
+                ballots.insert(
+                    m.clone(),
+                    Ballot::custom(s.as_str().ok_or("ballot must be a string")?),
+                );
+            }
+        }
+        let mut final_votes = BTreeMap::new();
+        if let Some(obj) = doc.get("final_votes").and_then(|v| v.as_obj()) {
+            for (m, v) in obj {
+                if let Value::Bool(b) = v {
+                    final_votes.insert(m.clone(), *b);
+                }
+            }
+        }
+        Ok(ProposalInfo { proposer, state, ballots, final_votes })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proposal_json_roundtrip() {
+        let p = Proposal::single(
+            "add_node_code",
+            Value::obj([("code_id".to_string(), Value::str("abc123"))]),
+        );
+        let json = p.to_json();
+        assert!(json.contains("add_node_code"));
+        let reparsed = Proposal::from_json(&json).unwrap();
+        assert_eq!(reparsed, p);
+    }
+
+    #[test]
+    fn proposal_rejects_malformed() {
+        assert!(Proposal::from_json("{}").is_err());
+        assert!(Proposal::from_json(r#"{"actions":[{"args":{}}]}"#).is_err());
+        assert!(Proposal::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn ballots_evaluate() {
+        let p = Proposal::single("set_user", Value::Null);
+        assert!(Ballot::approve().evaluate(&p, &"m0".to_string()));
+        assert!(!Ballot::reject().evaluate(&p, &"m0".to_string()));
+        // Conditional ballot: approve only set_user actions.
+        let cond = Ballot::custom(
+            r#"function vote(proposal, proposer_id) {
+                for (a of proposal.actions) {
+                    if (a.name != "set_user") { return false; }
+                }
+                return true;
+            }"#,
+        );
+        assert!(cond.evaluate(&p, &"m0".to_string()));
+        let p2 = Proposal::single("set_constitution", Value::Null);
+        assert!(!cond.evaluate(&p2, &"m0".to_string()));
+        // Broken ballots never approve.
+        let broken = Ballot::custom("function vote(p, q) { return undefined_var; }");
+        assert!(!broken.evaluate(&p, &"m0".to_string()));
+        let not_even_a_vote_fn = Ballot::custom("function other() { return true; }");
+        assert!(!not_even_a_vote_fn.evaluate(&p, &"m0".to_string()));
+    }
+
+    #[test]
+    fn proposal_info_roundtrip() {
+        let mut info = ProposalInfo::open("m0".to_string());
+        info.ballots.insert("m0".to_string(), Ballot::approve());
+        info.ballots.insert("m1".to_string(), Ballot::reject());
+        info.state = ProposalState::Rejected;
+        info.final_votes.insert("m0".to_string(), true);
+        info.final_votes.insert("m1".to_string(), false);
+        let round = ProposalInfo::from_json(&info.to_json()).unwrap();
+        assert_eq!(round, info);
+    }
+
+    #[test]
+    fn proposal_ids_are_stable_and_distinct() {
+        let a = proposal_id_of(b"payload-a");
+        let b = proposal_id_of(b"payload-b");
+        assert_ne!(a, b);
+        assert_eq!(a, proposal_id_of(b"payload-a"));
+        assert_eq!(a.len(), 64);
+    }
+
+    #[test]
+    fn final_states() {
+        assert!(!ProposalState::Open.is_final());
+        for s in [
+            ProposalState::Accepted,
+            ProposalState::Rejected,
+            ProposalState::Withdrawn,
+            ProposalState::Dropped,
+            ProposalState::Failed,
+        ] {
+            assert!(s.is_final());
+            assert_eq!(ProposalState::parse(s.as_str()), Some(s));
+        }
+    }
+}

@@ -1,0 +1,509 @@
+//! A persistent Compressed Hash-Array Mapped Prefix-tree (CHAMP).
+//!
+//! The production CCF bases its map on CHAMP (Steindorfer & Vinju, §7 of
+//! the paper) because endpoint execution needs cheap immutable snapshots:
+//! every transaction reads from a frozen root pointer while the committer
+//! installs new roots, and rolled-back speculative state is dropped by
+//! forgetting a pointer. Structural sharing makes snapshot = one `Arc`
+//! clone and update = O(log32 n) path copy.
+//!
+//! Layout follows the CHAMP paper: each internal node keeps two bitmaps —
+//! `data_map` for inline key-value entries and `node_map` for sub-nodes —
+//! over a 32-way branch, with entries stored before child pointers in one
+//! compact vector pair. Hash collisions beyond the 60-bit hash path fall
+//! back to a small collision node.
+
+use std::sync::Arc;
+
+const BITS: u32 = 5;
+const FANOUT: usize = 1 << BITS; // 32
+const MAX_DEPTH: u32 = (64 / BITS) as u32 + 1; // hash exhausted below this
+
+/// Key bound: hashable, comparable, cheap to clone (keys are `Vec<u8>` or
+/// small strings throughout the workspace).
+pub trait Key: Eq + std::hash::Hash + Clone {}
+impl<T: Eq + std::hash::Hash + Clone> Key for T {}
+
+fn hash_of<K: std::hash::Hash>(key: &K) -> u64 {
+    // FNV-1a over the key's Hash stream: deterministic across processes
+    // (unlike `RandomState`), which matters because map iteration feeds
+    // deterministic serialization.
+    struct Fnv(u64);
+    impl std::hash::Hasher for Fnv {
+        fn finish(&self) -> u64 {
+            self.0
+        }
+        fn write(&mut self, bytes: &[u8]) {
+            for &b in bytes {
+                self.0 ^= b as u64;
+                self.0 = self.0.wrapping_mul(0x100000001b3);
+            }
+        }
+    }
+    let mut h = Fnv(0xcbf29ce484222325);
+    std::hash::Hash::hash(key, &mut h);
+    std::hash::Hasher::finish(&h)
+}
+
+#[derive(Clone)]
+enum Node<K, V> {
+    Bitmap(BitmapNode<K, V>),
+    Collision(CollisionNode<K, V>),
+}
+
+#[derive(Clone)]
+struct BitmapNode<K, V> {
+    data_map: u32,
+    node_map: u32,
+    entries: Vec<(K, V)>,
+    children: Vec<Arc<Node<K, V>>>,
+}
+
+#[derive(Clone)]
+struct CollisionNode<K, V> {
+    hash: u64,
+    entries: Vec<(K, V)>,
+}
+
+impl<K: Key, V: Clone> BitmapNode<K, V> {
+    fn empty() -> Self {
+        BitmapNode { data_map: 0, node_map: 0, entries: Vec::new(), children: Vec::new() }
+    }
+
+    fn data_index(&self, bit: u32) -> usize {
+        (self.data_map & (bit - 1)).count_ones() as usize
+    }
+
+    fn node_index(&self, bit: u32) -> usize {
+        (self.node_map & (bit - 1)).count_ones() as usize
+    }
+}
+
+fn frag(hash: u64, depth: u32) -> u32 {
+    1u32 << ((hash >> (depth * BITS)) & (FANOUT as u64 - 1)) as u32
+}
+
+enum InsertResult {
+    Added,
+    Replaced,
+}
+
+impl<K: Key, V: Clone> Node<K, V> {
+    fn get<'a>(&'a self, key: &K, hash: u64, depth: u32) -> Option<&'a V> {
+        match self {
+            Node::Collision(c) => {
+                c.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            Node::Bitmap(b) => {
+                let bit = frag(hash, depth);
+                if b.data_map & bit != 0 {
+                    let (k, v) = &b.entries[b.data_index(bit)];
+                    if k == key {
+                        Some(v)
+                    } else {
+                        None
+                    }
+                } else if b.node_map & bit != 0 {
+                    b.children[b.node_index(bit)].get(key, hash, depth + 1)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Returns the new node and whether an entry was added or replaced.
+    fn insert(&self, key: K, value: V, hash: u64, depth: u32) -> (Node<K, V>, InsertResult) {
+        match self {
+            Node::Collision(c) => {
+                debug_assert_eq!(c.hash, hash);
+                let mut entries = c.entries.clone();
+                if let Some(slot) = entries.iter_mut().find(|(k, _)| *k == key) {
+                    slot.1 = value;
+                    (Node::Collision(CollisionNode { hash, entries }), InsertResult::Replaced)
+                } else {
+                    entries.push((key, value));
+                    (Node::Collision(CollisionNode { hash, entries }), InsertResult::Added)
+                }
+            }
+            Node::Bitmap(b) => {
+                let bit = frag(hash, depth);
+                if b.data_map & bit != 0 {
+                    let idx = b.data_index(bit);
+                    let (existing_key, existing_value) = &b.entries[idx];
+                    if *existing_key == key {
+                        let mut nb = b.clone();
+                        nb.entries[idx].1 = value;
+                        (Node::Bitmap(nb), InsertResult::Replaced)
+                    } else {
+                        // Push the existing entry down one level and insert
+                        // both into a fresh sub-node.
+                        let sub = Node::merge_two(
+                            existing_key.clone(),
+                            existing_value.clone(),
+                            hash_of(existing_key),
+                            key,
+                            value,
+                            hash,
+                            depth + 1,
+                        );
+                        let mut nb = b.clone();
+                        nb.entries.remove(idx);
+                        nb.data_map &= !bit;
+                        let nidx = nb.node_index(bit);
+                        nb.children.insert(nidx, Arc::new(sub));
+                        nb.node_map |= bit;
+                        (Node::Bitmap(nb), InsertResult::Added)
+                    }
+                } else if b.node_map & bit != 0 {
+                    let idx = b.node_index(bit);
+                    let (child, res) = b.children[idx].insert(key, value, hash, depth + 1);
+                    let mut nb = b.clone();
+                    nb.children[idx] = Arc::new(child);
+                    (Node::Bitmap(nb), res)
+                } else {
+                    let mut nb = b.clone();
+                    let idx = nb.data_index(bit);
+                    nb.entries.insert(idx, (key, value));
+                    nb.data_map |= bit;
+                    (Node::Bitmap(nb), InsertResult::Added)
+                }
+            }
+        }
+    }
+
+    fn merge_two(k1: K, v1: V, h1: u64, k2: K, v2: V, h2: u64, depth: u32) -> Node<K, V> {
+        if depth >= MAX_DEPTH {
+            return Node::Collision(CollisionNode { hash: h1, entries: vec![(k1, v1), (k2, v2)] });
+        }
+        let b1 = frag(h1, depth);
+        let b2 = frag(h2, depth);
+        if b1 == b2 {
+            let sub = Node::merge_two(k1, v1, h1, k2, v2, h2, depth + 1);
+            return Node::Bitmap(BitmapNode {
+                data_map: 0,
+                node_map: b1,
+                entries: Vec::new(),
+                children: vec![Arc::new(sub)],
+            });
+        }
+        // Order entries by bit position to keep the compact layout sorted.
+        let entries = if b1 < b2 { vec![(k1, v1), (k2, v2)] } else { vec![(k2, v2), (k1, v1)] };
+        Node::Bitmap(BitmapNode {
+            data_map: b1 | b2,
+            node_map: 0,
+            entries,
+            children: Vec::new(),
+        })
+    }
+
+    /// Removes `key`, returning the new node (None = became empty) and
+    /// whether a removal happened. Maintains the CHAMP canonical form by
+    /// collapsing single-entry sub-nodes back inline.
+    fn remove(&self, key: &K, hash: u64, depth: u32) -> (Option<Node<K, V>>, bool) {
+        match self {
+            Node::Collision(c) => {
+                let Some(pos) = c.entries.iter().position(|(k, _)| k == key) else {
+                    return (Some(self.clone()), false);
+                };
+                let mut entries = c.entries.clone();
+                entries.remove(pos);
+                match entries.len() {
+                    0 => (None, true),
+                    _ => (Some(Node::Collision(CollisionNode { hash: c.hash, entries })), true),
+                }
+            }
+            Node::Bitmap(b) => {
+                let bit = frag(hash, depth);
+                if b.data_map & bit != 0 {
+                    let idx = b.data_index(bit);
+                    if b.entries[idx].0 != *key {
+                        return (Some(self.clone()), false);
+                    }
+                    let mut nb = b.clone();
+                    nb.entries.remove(idx);
+                    nb.data_map &= !bit;
+                    if nb.entries.is_empty() && nb.children.is_empty() {
+                        (None, true)
+                    } else {
+                        (Some(Node::Bitmap(nb)), true)
+                    }
+                } else if b.node_map & bit != 0 {
+                    let idx = b.node_index(bit);
+                    let (child, removed) = b.children[idx].remove(key, hash, depth + 1);
+                    if !removed {
+                        return (Some(self.clone()), false);
+                    }
+                    let mut nb = b.clone();
+                    match child {
+                        None => {
+                            nb.children.remove(idx);
+                            nb.node_map &= !bit;
+                            if nb.entries.is_empty() && nb.children.is_empty() {
+                                return (None, true);
+                            }
+                        }
+                        Some(child) => {
+                            // Canonical form: a sub-node holding exactly one
+                            // inline entry and no children is pulled up.
+                            if let Node::Bitmap(cb) = &child {
+                                if cb.children.is_empty() && cb.entries.len() == 1 {
+                                    let (k, v) = cb.entries[0].clone();
+                                    nb.children.remove(idx);
+                                    nb.node_map &= !bit;
+                                    let didx = nb.data_index(bit);
+                                    nb.entries.insert(didx, (k, v));
+                                    nb.data_map |= bit;
+                                    return (Some(Node::Bitmap(nb)), true);
+                                }
+                            }
+                            if let Node::Collision(cc) = &child {
+                                if cc.entries.len() == 1 {
+                                    let (k, v) = cc.entries[0].clone();
+                                    nb.children.remove(idx);
+                                    nb.node_map &= !bit;
+                                    let didx = nb.data_index(bit);
+                                    nb.entries.insert(didx, (k, v));
+                                    nb.data_map |= bit;
+                                    return (Some(Node::Bitmap(nb)), true);
+                                }
+                            }
+                            nb.children[idx] = Arc::new(child);
+                        }
+                    }
+                    (Some(Node::Bitmap(nb)), true)
+                } else {
+                    (Some(self.clone()), false)
+                }
+            }
+        }
+    }
+
+    fn for_each<'a>(&'a self, f: &mut impl FnMut(&'a K, &'a V)) {
+        match self {
+            Node::Collision(c) => {
+                for (k, v) in &c.entries {
+                    f(k, v);
+                }
+            }
+            Node::Bitmap(b) => {
+                for (k, v) in &b.entries {
+                    f(k, v);
+                }
+                for child in &b.children {
+                    child.for_each(f);
+                }
+            }
+        }
+    }
+}
+
+/// A persistent hash map with O(1) snapshots (clone) and O(log32 n)
+/// updates via structural sharing.
+pub struct ChampMap<K, V> {
+    root: Option<Arc<Node<K, V>>>,
+    len: usize,
+}
+
+impl<K, V> Clone for ChampMap<K, V> {
+    fn clone(&self) -> Self {
+        ChampMap { root: self.root.clone(), len: self.len }
+    }
+}
+
+impl<K: Key, V: Clone> Default for ChampMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Key, V: Clone> ChampMap<K, V> {
+    /// The empty map.
+    pub fn new() -> Self {
+        ChampMap { root: None, len: 0 }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let root = self.root.as_ref()?;
+        root.get(key, hash_of(key), 0)
+    }
+
+    /// True iff `key` is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Returns a new map with `key` bound to `value` (persistent insert).
+    pub fn insert(&self, key: K, value: V) -> ChampMap<K, V> {
+        let hash = hash_of(&key);
+        match &self.root {
+            None => {
+                let (node, _) =
+                    Node::Bitmap(BitmapNode::empty()).insert(key, value, hash, 0);
+                ChampMap { root: Some(Arc::new(node)), len: 1 }
+            }
+            Some(root) => {
+                let (node, res) = root.insert(key, value, hash, 0);
+                let len = match res {
+                    InsertResult::Added => self.len + 1,
+                    InsertResult::Replaced => self.len,
+                };
+                ChampMap { root: Some(Arc::new(node)), len }
+            }
+        }
+    }
+
+    /// Returns a new map without `key` (persistent remove).
+    pub fn remove(&self, key: &K) -> ChampMap<K, V> {
+        let Some(root) = &self.root else { return self.clone() };
+        let (node, removed) = root.remove(key, hash_of(key), 0);
+        if !removed {
+            return self.clone();
+        }
+        ChampMap { root: node.map(Arc::new), len: self.len - 1 }
+    }
+
+    /// Visits every entry (order is deterministic but unspecified).
+    pub fn for_each<'a>(&'a self, mut f: impl FnMut(&'a K, &'a V)) {
+        if let Some(root) = &self.root {
+            root.for_each(&mut f);
+        }
+    }
+
+    /// Collects all entries into a vector (deterministic order).
+    pub fn entries(&self) -> Vec<(&K, &V)> {
+        let mut out = Vec::with_capacity(self.len);
+        self.for_each(|k, v| out.push((k, v)));
+        out
+    }
+}
+
+impl<K: Key + std::fmt::Debug, V: Clone + std::fmt::Debug> std::fmt::Debug for ChampMap<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut m = f.debug_map();
+        self.for_each(|k, v| {
+            m.entry(k, v);
+        });
+        m.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn insert_get_remove() {
+        let m = ChampMap::new();
+        let m = m.insert("a".to_string(), 1);
+        let m = m.insert("b".to_string(), 2);
+        assert_eq!(m.get(&"a".to_string()), Some(&1));
+        assert_eq!(m.get(&"b".to_string()), Some(&2));
+        assert_eq!(m.get(&"c".to_string()), None);
+        assert_eq!(m.len(), 2);
+        let m2 = m.remove(&"a".to_string());
+        assert_eq!(m2.get(&"a".to_string()), None);
+        assert_eq!(m2.len(), 1);
+        // Persistence: the original is untouched.
+        assert_eq!(m.get(&"a".to_string()), Some(&1));
+    }
+
+    #[test]
+    fn replace_keeps_len() {
+        let m = ChampMap::new().insert(1u64, "x").insert(1u64, "y");
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(&1), Some(&"y"));
+    }
+
+    #[test]
+    fn remove_missing_is_noop() {
+        let m = ChampMap::new().insert(1u64, 1);
+        let m2 = m.remove(&2);
+        assert_eq!(m2.len(), 1);
+    }
+
+    #[test]
+    fn agrees_with_hashmap_under_random_ops() {
+        let mut reference: HashMap<u64, u64> = HashMap::new();
+        let mut champ: ChampMap<u64, u64> = ChampMap::new();
+        let mut rng = ccf_crypto::chacha::ChaChaRng::seed_from_u64(42);
+        for _ in 0..20_000 {
+            let key = rng.gen_range(512);
+            match rng.gen_range(3) {
+                0 | 1 => {
+                    let val = rng.next_u64();
+                    reference.insert(key, val);
+                    champ = champ.insert(key, val);
+                }
+                _ => {
+                    reference.remove(&key);
+                    champ = champ.remove(&key);
+                }
+            }
+            assert_eq!(champ.len(), reference.len());
+        }
+        for (k, v) in &reference {
+            assert_eq!(champ.get(k), Some(v), "key {k}");
+        }
+        let mut count = 0;
+        champ.for_each(|k, v| {
+            assert_eq!(reference.get(k), Some(v));
+            count += 1;
+        });
+        assert_eq!(count, reference.len());
+    }
+
+    #[test]
+    fn snapshots_are_independent() {
+        let mut m = ChampMap::new();
+        let mut snapshots = Vec::new();
+        for i in 0..100u64 {
+            m = m.insert(i, i * 10);
+            snapshots.push(m.clone());
+        }
+        for (i, snap) in snapshots.iter().enumerate() {
+            assert_eq!(snap.len(), i + 1);
+            assert_eq!(snap.get(&(i as u64)), Some(&(i as u64 * 10)));
+            assert_eq!(snap.get(&(i as u64 + 1)), None);
+        }
+    }
+
+    #[test]
+    fn many_keys_deep_trie() {
+        let mut m = ChampMap::new();
+        for i in 0..10_000u64 {
+            m = m.insert(i, i);
+        }
+        assert_eq!(m.len(), 10_000);
+        for i in (0..10_000u64).step_by(97) {
+            assert_eq!(m.get(&i), Some(&i));
+        }
+        for i in 0..5_000u64 {
+            m = m.remove(&i);
+        }
+        assert_eq!(m.len(), 5_000);
+        assert_eq!(m.get(&100), None);
+        assert_eq!(m.get(&7000), Some(&7000));
+    }
+
+    #[test]
+    fn byte_keys() {
+        let mut m: ChampMap<Vec<u8>, Vec<u8>> = ChampMap::new();
+        for i in 0..100u32 {
+            m = m.insert(i.to_le_bytes().to_vec(), vec![i as u8; 20]);
+        }
+        assert_eq!(m.get(&5u32.to_le_bytes().to_vec()), Some(&vec![5u8; 20]));
+    }
+}

@@ -1,0 +1,281 @@
+//! A small deterministic binary codec.
+//!
+//! Ledger entries are hashed into the Merkle tree, so their serialization
+//! must be byte-for-byte deterministic across nodes: fixed little-endian
+//! integers, u32-length-prefixed byte strings, and explicitly ordered
+//! collections. All readers are bounds-checked and return errors rather
+//! than panicking on malformed (possibly hostile) input from disk or the
+//! network.
+
+/// Errors raised while decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input ended before the expected field.
+    UnexpectedEof {
+        /// What was being decoded.
+        context: &'static str,
+    },
+    /// A length prefix exceeded the remaining input (or a sanity bound).
+    BadLength {
+        /// What was being decoded.
+        context: &'static str,
+    },
+    /// An enum discriminant or magic value was invalid.
+    BadValue {
+        /// What was being decoded.
+        context: &'static str,
+    },
+    /// A UTF-8 string field contained invalid bytes.
+    BadUtf8,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::UnexpectedEof { context } => write!(f, "unexpected EOF in {context}"),
+            CodecError::BadLength { context } => write!(f, "bad length in {context}"),
+            CodecError::BadValue { context } => write!(f, "bad value in {context}"),
+            CodecError::BadUtf8 => write!(f, "invalid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// An append-only encoder.
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Writer {
+        Writer { buf: Vec::new() }
+    }
+
+    /// Creates a writer with preallocated capacity.
+    pub fn with_capacity(cap: usize) -> Writer {
+        Writer { buf: Vec::with_capacity(cap) }
+    }
+
+    /// Appends a single byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian u16.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian u32.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian u64.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a bool as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    /// Appends raw bytes without a length prefix.
+    pub fn raw(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a u32 length prefix followed by the bytes.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.raw(v);
+    }
+
+    /// Appends a string as length-prefixed UTF-8.
+    pub fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+
+    /// Appends an optional byte string: 0 for `None`, 1 + bytes for `Some`.
+    pub fn opt_bytes(&mut self, v: Option<&[u8]>) {
+        match v {
+            None => self.u8(0),
+            Some(b) => {
+                self.u8(1);
+                self.bytes(b);
+            }
+        }
+    }
+
+    /// Consumes the writer, returning the encoded buffer.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current encoded length.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// A bounds-checked decoder over a byte slice.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps a byte slice for decoding.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when the input has been fully consumed.
+    pub fn is_at_end(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::UnexpectedEof { context });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self, context: &'static str) -> Result<u8, CodecError> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    /// Reads a little-endian u16.
+    pub fn u16(&mut self, context: &'static str) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(self.take(2, context)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian u32.
+    pub fn u32(&mut self, context: &'static str) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4, context)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian u64.
+    pub fn u64(&mut self, context: &'static str) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8, context)?.try_into().unwrap()))
+    }
+
+    /// Reads a bool, rejecting values other than 0/1.
+    pub fn bool(&mut self, context: &'static str) -> Result<bool, CodecError> {
+        match self.u8(context)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(CodecError::BadValue { context }),
+        }
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn raw(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], CodecError> {
+        self.take(n, context)
+    }
+
+    /// Reads a fixed-size array.
+    pub fn array<const N: usize>(&mut self, context: &'static str) -> Result<[u8; N], CodecError> {
+        Ok(self.take(N, context)?.try_into().unwrap())
+    }
+
+    /// Reads a u32-length-prefixed byte string.
+    pub fn bytes(&mut self, context: &'static str) -> Result<&'a [u8], CodecError> {
+        let len = self.u32(context)? as usize;
+        if len > self.remaining() {
+            return Err(CodecError::BadLength { context });
+        }
+        self.take(len, context)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self, context: &'static str) -> Result<&'a str, CodecError> {
+        std::str::from_utf8(self.bytes(context)?).map_err(|_| CodecError::BadUtf8)
+    }
+
+    /// Reads an optional byte string written by [`Writer::opt_bytes`].
+    pub fn opt_bytes(&mut self, context: &'static str) -> Result<Option<&'a [u8]>, CodecError> {
+        match self.u8(context)? {
+            0 => Ok(None),
+            1 => Ok(Some(self.bytes(context)?)),
+            _ => Err(CodecError::BadValue { context }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_types() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u16(1000);
+        w.u32(1 << 20);
+        w.u64(1 << 40);
+        w.bool(true);
+        w.bytes(b"hello");
+        w.str("wörld");
+        w.opt_bytes(None);
+        w.opt_bytes(Some(b"x"));
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8("t").unwrap(), 7);
+        assert_eq!(r.u16("t").unwrap(), 1000);
+        assert_eq!(r.u32("t").unwrap(), 1 << 20);
+        assert_eq!(r.u64("t").unwrap(), 1 << 40);
+        assert!(r.bool("t").unwrap());
+        assert_eq!(r.bytes("t").unwrap(), b"hello");
+        assert_eq!(r.str("t").unwrap(), "wörld");
+        assert_eq!(r.opt_bytes("t").unwrap(), None);
+        assert_eq!(r.opt_bytes("t").unwrap(), Some(&b"x"[..]));
+        assert!(r.is_at_end());
+    }
+
+    #[test]
+    fn eof_and_bad_lengths() {
+        let mut r = Reader::new(&[1, 2]);
+        assert!(r.u32("t").is_err());
+        // Length prefix longer than remaining data.
+        let mut w = Writer::new();
+        w.u32(100);
+        w.raw(b"short");
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.bytes("t"), Err(CodecError::BadLength { context: "t" }));
+    }
+
+    #[test]
+    fn bool_rejects_junk() {
+        let mut r = Reader::new(&[2]);
+        assert_eq!(r.bool("t"), Err(CodecError::BadValue { context: "t" }));
+    }
+
+    #[test]
+    fn bad_utf8_rejected() {
+        let mut w = Writer::new();
+        w.bytes(&[0xff, 0xfe]);
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.str("t"), Err(CodecError::BadUtf8));
+    }
+}

@@ -1,0 +1,187 @@
+//! Property-based tests: CHAMP vs a reference map under arbitrary
+//! operation sequences, codec and write-set roundtrips, store semantics.
+
+use ccf_kv::codec::{Reader, Writer};
+use ccf_kv::store::StoreState;
+use ccf_kv::{ChampMap, MapName, Store, WriteSet};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u16, u32),
+    Remove(u16),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u16>(), any::<u32>()).prop_map(|(k, v)| Op::Insert(k % 512, v)),
+        any::<u16>().prop_map(|k| Op::Remove(k % 512)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn champ_matches_hashmap(ops in proptest::collection::vec(op_strategy(), 0..400)) {
+        let mut champ: ChampMap<u16, u32> = ChampMap::new();
+        let mut reference: HashMap<u16, u32> = HashMap::new();
+        for op in &ops {
+            match op {
+                Op::Insert(k, v) => {
+                    champ = champ.insert(*k, *v);
+                    reference.insert(*k, *v);
+                }
+                Op::Remove(k) => {
+                    champ = champ.remove(k);
+                    reference.remove(k);
+                }
+            }
+            prop_assert_eq!(champ.len(), reference.len());
+        }
+        for (k, v) in &reference {
+            prop_assert_eq!(champ.get(k), Some(v));
+        }
+        let mut seen = 0;
+        champ.for_each(|k, v| {
+            assert_eq!(reference.get(k), Some(v));
+            seen += 1;
+        });
+        prop_assert_eq!(seen, reference.len());
+    }
+
+    #[test]
+    fn champ_snapshots_are_immutable(
+        ops in proptest::collection::vec(op_strategy(), 1..100),
+        snap_at in 0usize..99,
+    ) {
+        let mut champ: ChampMap<u16, u32> = ChampMap::new();
+        let mut snapshot = None;
+        let mut snapshot_contents: Option<Vec<(u16, u32)>> = None;
+        for (i, op) in ops.iter().enumerate() {
+            if i == snap_at.min(ops.len() - 1) {
+                let mut contents: Vec<(u16, u32)> = Vec::new();
+                champ.for_each(|k, v| contents.push((*k, *v)));
+                contents.sort_unstable();
+                snapshot = Some(champ.clone());
+                snapshot_contents = Some(contents);
+            }
+            match op {
+                Op::Insert(k, v) => champ = champ.insert(*k, *v),
+                Op::Remove(k) => champ = champ.remove(k),
+            }
+        }
+        if let (Some(snap), Some(expected)) = (snapshot, snapshot_contents) {
+            let mut got: Vec<(u16, u32)> = Vec::new();
+            snap.for_each(|k, v| got.push((*k, *v)));
+            got.sort_unstable();
+            prop_assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn writeset_encode_decode_roundtrip(
+        entries in proptest::collection::vec(
+            ("[a-z]{1,8}", proptest::collection::vec(any::<u8>(), 0..16),
+             proptest::option::of(proptest::collection::vec(any::<u8>(), 0..32))),
+            0..20,
+        )
+    ) {
+        let mut ws = WriteSet::new();
+        for (map, key, value) in entries {
+            match value {
+                Some(v) => ws.write(MapName::new(map), key, v),
+                None => ws.remove(MapName::new(map), key),
+            }
+        }
+        let decoded = WriteSet::decode(&ws.encode()).unwrap();
+        prop_assert_eq!(ws, decoded);
+    }
+
+    #[test]
+    fn writeset_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = WriteSet::decode(&bytes); // must not panic, only Err
+    }
+
+    #[test]
+    fn codec_roundtrip(
+        a in any::<u64>(),
+        b in any::<u32>(),
+        s in "[ -~]{0,32}",
+        blob in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut w = Writer::new();
+        w.u64(a);
+        w.u32(b);
+        w.str(&s);
+        w.bytes(&blob);
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        prop_assert_eq!(r.u64("a").unwrap(), a);
+        prop_assert_eq!(r.u32("b").unwrap(), b);
+        prop_assert_eq!(r.str("s").unwrap(), s);
+        prop_assert_eq!(r.bytes("blob").unwrap(), blob);
+        prop_assert!(r.is_at_end());
+    }
+
+    #[test]
+    fn store_state_serialization_roundtrip(
+        writes in proptest::collection::vec(
+            (proptest::collection::vec(any::<u8>(), 1..8),
+             proptest::collection::vec(any::<u8>(), 0..16)),
+            1..30,
+        )
+    ) {
+        let store = Store::new();
+        let map = MapName::new("m");
+        for (k, v) in &writes {
+            let mut tx = store.begin();
+            tx.put(&map, k, v);
+            store.commit(tx, false).unwrap();
+        }
+        let state = store.snapshot();
+        let restored = StoreState::deserialize(&state.serialize()).unwrap();
+        prop_assert_eq!(restored.version, state.version);
+        prop_assert_eq!(restored.entries_sorted(&map), state.entries_sorted(&map));
+        // Determinism: same bytes again.
+        prop_assert_eq!(restored.serialize(), state.serialize());
+    }
+
+    #[test]
+    fn occ_serializability_of_counter(increments in 1usize..30) {
+        // Apply `increments` read-modify-write transactions with random
+        // interleavings of begin/commit; conflicts retry. The final value
+        // must equal the number of successful commits.
+        let store = Store::new();
+        let map = MapName::new("m");
+        let mut committed = 0u64;
+        let mut pending = Vec::new();
+        for i in 0..increments {
+            let mut tx = store.begin();
+            let v = tx
+                .get(&map, b"ctr")
+                .map(|b| String::from_utf8_lossy(&b).parse::<u64>().unwrap())
+                .unwrap_or(0);
+            tx.put(&map, b"ctr", (v + 1).to_string().as_bytes());
+            pending.push(tx);
+            // Commit every other transaction late to force conflicts.
+            if i % 2 == 0 {
+                if store.commit(pending.remove(0), false).is_ok() {
+                    committed += 1;
+                }
+            }
+        }
+        for tx in pending {
+            if store.commit(tx, false).is_ok() {
+                committed += 1;
+            }
+        }
+        let mut tx = store.begin();
+        let v = tx
+            .get(&map, b"ctr")
+            .map(|b| String::from_utf8_lossy(&b).parse::<u64>().unwrap())
+            .unwrap_or(0);
+        prop_assert_eq!(v, committed, "lost or duplicated increments");
+    }
+}

@@ -1,0 +1,320 @@
+//! Ledger entry encoding: transaction IDs, write sets split by visibility,
+//! signature payloads (paper §3.1–§3.3).
+
+use ccf_crypto::sha2::{sha256, Sha256};
+use ccf_crypto::{Digest32, Signature, VerifyingKey};
+use ccf_kv::codec::{CodecError, Reader, Writer};
+use ccf_kv::WriteSet;
+
+/// A transaction ID: the ordered pair (view, sequence number) — unique per
+/// transaction across the whole service lifetime (§3.1).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TxId {
+    /// The consensus view in which the transaction was created.
+    pub view: u64,
+    /// The index of the transaction in the ledger (1-based; 0 = none).
+    pub seqno: u64,
+}
+
+impl TxId {
+    /// Creates a transaction ID.
+    pub fn new(view: u64, seqno: u64) -> TxId {
+        TxId { view, seqno }
+    }
+
+    /// The "no transaction" sentinel (before the first entry).
+    pub const ZERO: TxId = TxId { view: 0, seqno: 0 };
+}
+
+impl std::fmt::Debug for TxId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.{}", self.view, self.seqno)
+    }
+}
+
+impl std::fmt::Display for TxId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.{}", self.view, self.seqno)
+    }
+}
+
+/// What kind of transaction an entry records.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EntryKind {
+    /// A user/application transaction (or governance write).
+    User = 0,
+    /// A signature transaction: the primary's signature over the Merkle
+    /// root of the preceding ledger prefix (§3.2).
+    Signature = 1,
+    /// A reconfiguration transaction: updates to `nodes.info` changing the
+    /// set of trusted nodes (§4.4). Affects consensus directly.
+    Reconfiguration = 2,
+}
+
+impl EntryKind {
+    fn from_u8(v: u8) -> Result<EntryKind, CodecError> {
+        match v {
+            0 => Ok(EntryKind::User),
+            1 => Ok(EntryKind::Signature),
+            2 => Ok(EntryKind::Reconfiguration),
+            _ => Err(CodecError::BadValue { context: "entry kind" }),
+        }
+    }
+}
+
+/// The payload of a signature transaction, stored in the
+/// `public:ccf.internal.signatures` map and on the ledger.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SignaturePayload {
+    /// The signing (primary) node.
+    pub node_id: String,
+    /// The Merkle root over the ledger up to and including the previous
+    /// entry.
+    pub root: Digest32,
+    /// Ed25519 signature by the node identity key over
+    /// `signing_bytes(root, txid)`.
+    pub signature: Signature,
+    /// The node's public key, so auditors can check against `nodes.info`.
+    pub node_public: VerifyingKey,
+}
+
+impl SignaturePayload {
+    /// The exact bytes a node signs for a signature transaction at `txid`.
+    pub fn signing_bytes(root: &Digest32, txid: TxId) -> Vec<u8> {
+        let mut w = Writer::with_capacity(64);
+        w.raw(b"ccf-signature-tx");
+        w.u64(txid.view);
+        w.u64(txid.seqno);
+        w.raw(root);
+        w.finish()
+    }
+
+    /// Serializes the payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.str(&self.node_id);
+        w.raw(&self.root);
+        w.raw(&self.signature.0);
+        w.raw(&self.node_public.0);
+        w.finish()
+    }
+
+    /// Decodes [`SignaturePayload::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<SignaturePayload, CodecError> {
+        let mut r = Reader::new(bytes);
+        let node_id = r.str("signature node id")?.to_string();
+        let root = r.array::<32>("signature root")?;
+        let sig = r.array::<64>("signature bytes")?;
+        let node_public = r.array::<32>("signature node key")?;
+        Ok(SignaturePayload {
+            node_id,
+            root,
+            signature: Signature(sig),
+            node_public: VerifyingKey(node_public),
+        })
+    }
+}
+
+/// One entry of the ledger, as replicated between nodes and persisted by
+/// the host. Private-map updates are already encrypted at this layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LedgerEntry {
+    /// The transaction ID assigned by the primary.
+    pub txid: TxId,
+    /// What kind of transaction this is.
+    pub kind: EntryKind,
+    /// Public-map updates, in plain text (encoded [`WriteSet`]).
+    pub public_ws: Vec<u8>,
+    /// Private-map updates, encrypted with the ledger secret
+    /// (AES-256-GCM ciphertext || tag); empty if none.
+    pub private_ws_enc: Vec<u8>,
+    /// Digest of application-attached claims (§3.5); zero if none.
+    pub claims_digest: Digest32,
+}
+
+impl LedgerEntry {
+    /// The leaf digest contributed to the Merkle tree: a hash over the
+    /// transaction ID, the digests of both write-set parts, and the claims
+    /// digest — everything a receipt must commit to.
+    pub fn leaf_bytes(&self) -> Vec<u8> {
+        Self::leaf_bytes_from_digests(
+            self.txid,
+            self.kind,
+            &sha256(&self.public_ws),
+            &sha256(&self.private_ws_enc),
+            &self.claims_digest,
+        )
+    }
+
+    /// Builds leaf bytes from precomputed digests (receipt verification
+    /// path, where the verifier may only hold digests).
+    pub fn leaf_bytes_from_digests(
+        txid: TxId,
+        kind: EntryKind,
+        public_digest: &Digest32,
+        private_digest: &Digest32,
+        claims_digest: &Digest32,
+    ) -> Vec<u8> {
+        let mut w = Writer::with_capacity(112);
+        w.u64(txid.view);
+        w.u64(txid.seqno);
+        w.u8(kind as u8);
+        w.raw(public_digest);
+        w.raw(private_digest);
+        w.raw(claims_digest);
+        w.finish()
+    }
+
+    /// Digest of the encoded entry (used in append-entries integrity
+    /// checks).
+    pub fn digest(&self) -> Digest32 {
+        let mut h = Sha256::new();
+        h.update(&self.encode());
+        h.finalize()
+    }
+
+    /// Parses the public write set.
+    pub fn public_write_set(&self) -> Result<WriteSet, CodecError> {
+        if self.public_ws.is_empty() {
+            return Ok(WriteSet::new());
+        }
+        WriteSet::decode(&self.public_ws)
+    }
+
+    /// Serializes the entry for replication and persistence.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::with_capacity(64 + self.public_ws.len() + self.private_ws_enc.len());
+        w.u64(self.txid.view);
+        w.u64(self.txid.seqno);
+        w.u8(self.kind as u8);
+        w.bytes(&self.public_ws);
+        w.bytes(&self.private_ws_enc);
+        w.raw(&self.claims_digest);
+        w.finish()
+    }
+
+    /// Decodes [`LedgerEntry::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<LedgerEntry, CodecError> {
+        let mut r = Reader::new(bytes);
+        let entry = Self::decode_from(&mut r)?;
+        if !r.is_at_end() {
+            return Err(CodecError::BadLength { context: "ledger entry trailing bytes" });
+        }
+        Ok(entry)
+    }
+
+    /// Decodes one entry from a stream (ledger files hold many).
+    pub fn decode_from(r: &mut Reader<'_>) -> Result<LedgerEntry, CodecError> {
+        let view = r.u64("entry view")?;
+        let seqno = r.u64("entry seqno")?;
+        let kind = EntryKind::from_u8(r.u8("entry kind")?)?;
+        let public_ws = r.bytes("entry public ws")?.to_vec();
+        let private_ws_enc = r.bytes("entry private ws")?.to_vec();
+        let claims_digest = r.array::<32>("entry claims digest")?;
+        Ok(LedgerEntry { txid: TxId::new(view, seqno), kind, public_ws, private_ws_enc, claims_digest })
+    }
+
+    /// True for signature transactions.
+    pub fn is_signature(&self) -> bool {
+        self.kind == EntryKind::Signature
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccf_kv::MapName;
+
+    fn sample_entry() -> LedgerEntry {
+        let mut ws = WriteSet::new();
+        ws.write(MapName::new("public:app.m"), b"k".to_vec(), b"v".to_vec());
+        LedgerEntry {
+            txid: TxId::new(2, 7),
+            kind: EntryKind::User,
+            public_ws: ws.encode(),
+            private_ws_enc: vec![1, 2, 3],
+            claims_digest: [0u8; 32],
+        }
+    }
+
+    #[test]
+    fn txid_ordering_and_display() {
+        assert!(TxId::new(1, 5) < TxId::new(2, 1));
+        assert!(TxId::new(2, 1) < TxId::new(2, 2));
+        assert_eq!(TxId::new(3, 14).to_string(), "3.14");
+    }
+
+    #[test]
+    fn entry_roundtrip() {
+        let e = sample_entry();
+        let decoded = LedgerEntry::decode(&e.encode()).unwrap();
+        assert_eq!(e, decoded);
+    }
+
+    #[test]
+    fn entry_rejects_truncation_and_trailing() {
+        let bytes = sample_entry().encode();
+        assert!(LedgerEntry::decode(&bytes[..bytes.len() - 1]).is_err());
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert!(LedgerEntry::decode(&extra).is_err());
+    }
+
+    #[test]
+    fn entry_rejects_bad_kind() {
+        let mut bytes = sample_entry().encode();
+        bytes[16] = 99; // kind byte follows the two u64s
+        assert!(LedgerEntry::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn leaf_binds_all_components() {
+        let base = sample_entry();
+        let l0 = base.leaf_bytes();
+        let mut e = base.clone();
+        e.txid = TxId::new(2, 8);
+        assert_ne!(e.leaf_bytes(), l0);
+        let mut e = base.clone();
+        e.private_ws_enc = vec![9];
+        assert_ne!(e.leaf_bytes(), l0);
+        let mut e = base.clone();
+        e.claims_digest = [1u8; 32];
+        assert_ne!(e.leaf_bytes(), l0);
+        let mut e = base.clone();
+        e.kind = EntryKind::Signature;
+        assert_ne!(e.leaf_bytes(), l0);
+    }
+
+    #[test]
+    fn signature_payload_roundtrip() {
+        let mut rng = ccf_crypto::chacha::ChaChaRng::seed_from_u64(3);
+        let key = ccf_crypto::SigningKey::generate(&mut rng);
+        let root = [7u8; 32];
+        let txid = TxId::new(1, 100);
+        let payload = SignaturePayload {
+            node_id: "n0".into(),
+            root,
+            signature: key.sign(&SignaturePayload::signing_bytes(&root, txid)),
+            node_public: key.verifying_key(),
+        };
+        let decoded = SignaturePayload::decode(&payload.encode()).unwrap();
+        assert_eq!(payload, decoded);
+        decoded
+            .node_public
+            .verify(&SignaturePayload::signing_bytes(&root, txid), &decoded.signature)
+            .unwrap();
+    }
+
+    #[test]
+    fn stream_decoding_multiple_entries() {
+        let e1 = sample_entry();
+        let mut e2 = sample_entry();
+        e2.txid = TxId::new(2, 8);
+        let mut buf = e1.encode();
+        buf.extend_from_slice(&e2.encode());
+        let mut r = Reader::new(&buf);
+        assert_eq!(LedgerEntry::decode_from(&mut r).unwrap(), e1);
+        assert_eq!(LedgerEntry::decode_from(&mut r).unwrap(), e2);
+        assert!(r.is_at_end());
+    }
+}

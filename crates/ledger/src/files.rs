@@ -1,0 +1,305 @@
+//! Physical ledger files (paper §3.2).
+//!
+//! The logical ledger is divided into chunks, each terminating with a
+//! signature transaction, as it is written to persistent storage *by the
+//! host* — i.e. outside the trust boundary. A malicious host can drop,
+//! truncate or corrupt chunks; everything read back is therefore treated
+//! as untrusted input and re-verified (entry decoding, signature chain)
+//! during disaster recovery.
+
+use crate::entry::{LedgerEntry, TxId};
+use ccf_kv::codec::{CodecError, Reader, Writer};
+
+const CHUNK_MAGIC: u32 = 0xCCF1_ED6E;
+
+/// One physical ledger file: a header plus consecutive entries, the last
+/// of which is a signature transaction (except possibly the final,
+/// still-open chunk at crash time).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LedgerChunk {
+    /// Sequence number of the first entry.
+    pub first_seqno: u64,
+    /// The entries, in seqno order.
+    pub entries: Vec<LedgerEntry>,
+}
+
+impl LedgerChunk {
+    /// Serializes the chunk as stored on disk.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u32(CHUNK_MAGIC);
+        w.u64(self.first_seqno);
+        w.u32(self.entries.len() as u32);
+        for e in &self.entries {
+            w.bytes(&e.encode());
+        }
+        w.finish()
+    }
+
+    /// Decodes and structurally validates a chunk read from (untrusted)
+    /// storage.
+    pub fn decode(bytes: &[u8]) -> Result<LedgerChunk, CodecError> {
+        let mut r = Reader::new(bytes);
+        if r.u32("chunk magic")? != CHUNK_MAGIC {
+            return Err(CodecError::BadValue { context: "chunk magic" });
+        }
+        let first_seqno = r.u64("chunk first seqno")?;
+        let count = r.u32("chunk entry count")?;
+        let mut entries = Vec::with_capacity(count.min(1 << 20) as usize);
+        for i in 0..count {
+            let entry = LedgerEntry::decode(r.bytes("chunk entry")?)?;
+            if entry.txid.seqno != first_seqno + i as u64 {
+                return Err(CodecError::BadValue { context: "chunk entry seqno" });
+            }
+            entries.push(entry);
+        }
+        if !r.is_at_end() {
+            return Err(CodecError::BadLength { context: "chunk trailing bytes" });
+        }
+        Ok(LedgerChunk { first_seqno, entries })
+    }
+
+    /// Last transaction ID in this chunk.
+    pub fn last_txid(&self) -> Option<TxId> {
+        self.entries.last().map(|e| e.txid)
+    }
+
+    /// True when the chunk is closed by a signature transaction.
+    pub fn is_complete(&self) -> bool {
+        self.entries.last().is_some_and(|e| e.is_signature())
+    }
+}
+
+/// The host-side ledger writer: accumulates entries, closing a chunk at
+/// every signature transaction. In production these chunks are files named
+/// `ledger_<first>-<last>.committed`; here they are byte blobs handed to a
+/// storage backend (in-memory or a directory).
+#[derive(Default)]
+pub struct LedgerWriter {
+    open: Vec<LedgerEntry>,
+    open_first_seqno: u64,
+    chunks: Vec<LedgerChunk>,
+}
+
+impl LedgerWriter {
+    /// An empty writer expecting seqno 1 first.
+    pub fn new() -> LedgerWriter {
+        LedgerWriter { open: Vec::new(), open_first_seqno: 1, chunks: Vec::new() }
+    }
+
+    /// An empty writer starting at `first_seqno` (node bootstrapped from a
+    /// snapshot: earlier entries exist only on other nodes' storage).
+    pub fn starting_from(first_seqno: u64) -> LedgerWriter {
+        LedgerWriter { open: Vec::new(), open_first_seqno: first_seqno, chunks: Vec::new() }
+    }
+
+    /// Appends an entry; closes the open chunk if it is a signature tx.
+    pub fn append(&mut self, entry: LedgerEntry) {
+        let is_sig = entry.is_signature();
+        if self.open.is_empty() {
+            self.open_first_seqno = entry.txid.seqno;
+        }
+        self.open.push(entry);
+        if is_sig {
+            self.chunks.push(LedgerChunk {
+                first_seqno: self.open_first_seqno,
+                entries: std::mem::take(&mut self.open),
+            });
+        }
+    }
+
+    /// Removes every entry with seqno > `seqno` (consensus rollback). Whole
+    /// chunks are dropped and the open chunk truncated as needed.
+    pub fn truncate(&mut self, seqno: u64) {
+        self.open.retain(|e| e.txid.seqno <= seqno);
+        while let Some(last) = self.chunks.last() {
+            if last.first_seqno > seqno {
+                self.chunks.pop();
+            } else {
+                break;
+            }
+        }
+        if let Some(last) = self.chunks.last() {
+            if last.last_txid().map_or(0, |t| t.seqno) > seqno {
+                // Re-open the last chunk and truncate within it.
+                let mut chunk = self.chunks.pop().unwrap();
+                chunk.entries.retain(|e| e.txid.seqno <= seqno);
+                self.open_first_seqno = chunk.first_seqno;
+                let mut reopened = chunk.entries;
+                reopened.append(&mut self.open);
+                self.open = reopened;
+            }
+        }
+    }
+
+    /// All closed chunks.
+    pub fn chunks(&self) -> &[LedgerChunk] {
+        &self.chunks
+    }
+
+    /// Entries of the still-open (unsigned) suffix.
+    pub fn open_entries(&self) -> &[LedgerEntry] {
+        &self.open
+    }
+
+    /// Every entry currently held, in order (closed chunks + open suffix).
+    pub fn all_entries(&self) -> Vec<&LedgerEntry> {
+        self.chunks
+            .iter()
+            .flat_map(|c| c.entries.iter())
+            .chain(self.open.iter())
+            .collect()
+    }
+
+    /// Serializes all *closed* chunks — what survives on persistent
+    /// storage for disaster recovery (the open suffix is lost on crash,
+    /// exactly as in the paper's model).
+    pub fn persisted_blobs(&self) -> Vec<Vec<u8>> {
+        self.chunks.iter().map(|c| c.encode()).collect()
+    }
+}
+
+/// Reads a set of persisted chunk blobs back into an ordered entry stream,
+/// validating structure and sequence continuity. Used by disaster recovery
+/// and by new nodes catching up from files. Tolerates a truncated tail
+/// (missing later chunks) but rejects gaps and corruption.
+pub fn read_chunks(blobs: &[Vec<u8>]) -> Result<Vec<LedgerEntry>, CodecError> {
+    let mut chunks: Vec<LedgerChunk> = Vec::with_capacity(blobs.len());
+    for blob in blobs {
+        chunks.push(LedgerChunk::decode(blob)?);
+    }
+    chunks.sort_by_key(|c| c.first_seqno);
+    let mut entries = Vec::new();
+    let mut expected = 1u64;
+    for chunk in chunks {
+        if chunk.first_seqno != expected {
+            return Err(CodecError::BadValue { context: "chunk sequence gap" });
+        }
+        expected += chunk.entries.len() as u64;
+        entries.extend(chunk.entries);
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::EntryKind;
+
+    fn entry(view: u64, seqno: u64, kind: EntryKind) -> LedgerEntry {
+        LedgerEntry {
+            txid: TxId::new(view, seqno),
+            kind,
+            public_ws: format!("ws-{seqno}").into_bytes(),
+            private_ws_enc: Vec::new(),
+            claims_digest: [0u8; 32],
+        }
+    }
+
+    fn fill(writer: &mut LedgerWriter, upto: u64, sig_every: u64) {
+        for s in 1..=upto {
+            let kind = if s % sig_every == 0 { EntryKind::Signature } else { EntryKind::User };
+            writer.append(entry(1, s, kind));
+        }
+    }
+
+    #[test]
+    fn chunks_close_at_signatures() {
+        let mut w = LedgerWriter::new();
+        fill(&mut w, 10, 5);
+        assert_eq!(w.chunks().len(), 2);
+        assert_eq!(w.open_entries().len(), 0);
+        assert!(w.chunks().iter().all(|c| c.is_complete()));
+        assert_eq!(w.chunks()[0].first_seqno, 1);
+        assert_eq!(w.chunks()[1].first_seqno, 6);
+
+        let mut w = LedgerWriter::new();
+        fill(&mut w, 12, 5);
+        assert_eq!(w.chunks().len(), 2);
+        assert_eq!(w.open_entries().len(), 2); // 11, 12 unsigned
+    }
+
+    #[test]
+    fn chunk_encode_decode() {
+        let mut w = LedgerWriter::new();
+        fill(&mut w, 5, 5);
+        let blob = w.chunks()[0].encode();
+        let decoded = LedgerChunk::decode(&blob).unwrap();
+        assert_eq!(decoded, w.chunks()[0]);
+        // Corruption rejected.
+        let mut bad = blob.clone();
+        bad[0] ^= 1;
+        assert!(LedgerChunk::decode(&bad).is_err());
+        let mut bad = blob.clone();
+        let last = bad.len() - 1;
+        bad.truncate(last);
+        assert!(LedgerChunk::decode(&bad).is_err());
+    }
+
+    #[test]
+    fn read_chunks_reassembles_in_order() {
+        let mut w = LedgerWriter::new();
+        fill(&mut w, 20, 4);
+        let mut blobs = w.persisted_blobs();
+        blobs.reverse(); // order on disk is arbitrary
+        let entries = read_chunks(&blobs).unwrap();
+        assert_eq!(entries.len(), 20);
+        for (i, e) in entries.iter().enumerate() {
+            assert_eq!(e.txid.seqno, i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn read_chunks_rejects_gaps() {
+        let mut w = LedgerWriter::new();
+        fill(&mut w, 20, 4);
+        let mut blobs = w.persisted_blobs();
+        blobs.remove(1); // lose chunk 5..8
+        assert!(read_chunks(&blobs).is_err());
+    }
+
+    #[test]
+    fn read_chunks_tolerates_missing_tail() {
+        let mut w = LedgerWriter::new();
+        fill(&mut w, 20, 4);
+        let mut blobs = w.persisted_blobs();
+        blobs.pop(); // final chunk lost — best-effort recovery still works
+        let entries = read_chunks(&blobs).unwrap();
+        assert_eq!(entries.len(), 16);
+    }
+
+    #[test]
+    fn truncate_within_open_suffix() {
+        let mut w = LedgerWriter::new();
+        fill(&mut w, 12, 5); // chunks [1-5],[6-10], open [11,12]
+        w.truncate(11);
+        assert_eq!(w.open_entries().len(), 1);
+        assert_eq!(w.chunks().len(), 2);
+    }
+
+    #[test]
+    fn truncate_into_closed_chunk_reopens_it() {
+        let mut w = LedgerWriter::new();
+        fill(&mut w, 12, 5);
+        w.truncate(8);
+        assert_eq!(w.chunks().len(), 1);
+        assert_eq!(w.open_entries().len(), 3); // 6, 7, 8
+        assert_eq!(w.all_entries().len(), 8);
+        // Appending a new signature closes the reopened chunk again.
+        w.append(entry(2, 9, EntryKind::Signature));
+        assert_eq!(w.chunks().len(), 2);
+        assert_eq!(w.chunks()[1].first_seqno, 6);
+        assert!(w.chunks()[1].is_complete());
+    }
+
+    #[test]
+    fn truncate_everything() {
+        let mut w = LedgerWriter::new();
+        fill(&mut w, 12, 5);
+        w.truncate(0);
+        assert!(w.chunks().is_empty());
+        assert!(w.open_entries().is_empty());
+        fill(&mut w, 5, 5);
+        assert_eq!(w.chunks().len(), 1);
+    }
+}

@@ -1,0 +1,255 @@
+//! Ledger secrets: encryption of private-map updates (Table 1, §5.2, §6.1).
+//!
+//! Updates to private maps are encrypted with the symmetric *ledger secret*
+//! before leaving the enclave. The secret can be *rekeyed* by governance:
+//! each secret version applies from a given sequence number, and decryption
+//! of historical entries picks the secret that was current at that seqno.
+//! The AAD binds every ciphertext to its transaction ID and to the digest
+//! of the public part, so entries cannot be spliced together.
+
+use crate::entry::TxId;
+use ccf_crypto::gcm::{derive_nonce, AesGcm256};
+use ccf_crypto::{CryptoError, Digest32};
+use ccf_kv::codec::{CodecError, Reader, Writer};
+
+const NONCE_LABEL_LEDGER: u8 = 0x01;
+
+/// One version of the ledger secret.
+#[derive(Clone)]
+pub struct SecretVersion {
+    /// First sequence number this secret applies to.
+    pub from_seqno: u64,
+    /// The raw 256-bit AES key.
+    pub key: [u8; 32],
+}
+
+/// The ordered set of ledger secret versions held inside the enclave.
+#[derive(Clone, Default)]
+pub struct LedgerSecrets {
+    // Sorted by from_seqno ascending; always non-empty after init.
+    versions: Vec<SecretVersion>,
+}
+
+impl LedgerSecrets {
+    /// Initializes with a single secret applying from the first entry.
+    pub fn new(initial_key: [u8; 32]) -> LedgerSecrets {
+        LedgerSecrets { versions: vec![SecretVersion { from_seqno: 1, key: initial_key }] }
+    }
+
+    /// Restores from explicit versions (disaster recovery). Versions must
+    /// be sorted by `from_seqno` and non-empty.
+    pub fn from_versions(versions: Vec<SecretVersion>) -> LedgerSecrets {
+        assert!(!versions.is_empty(), "ledger secrets cannot be empty");
+        assert!(
+            versions.windows(2).all(|w| w[0].from_seqno < w[1].from_seqno),
+            "secret versions must be strictly ordered"
+        );
+        LedgerSecrets { versions }
+    }
+
+    /// Adds a new secret applying from `from_seqno` (governance rekey).
+    pub fn rekey(&mut self, from_seqno: u64, key: [u8; 32]) {
+        assert!(
+            from_seqno > self.versions.last().map_or(0, |v| v.from_seqno),
+            "rekey must move forward"
+        );
+        self.versions.push(SecretVersion { from_seqno, key });
+    }
+
+    /// The secret in force at `seqno`.
+    pub fn key_for(&self, seqno: u64) -> Option<&[u8; 32]> {
+        self.versions
+            .iter()
+            .rev()
+            .find(|v| v.from_seqno <= seqno)
+            .map(|v| &v.key)
+    }
+
+    /// Number of secret versions (1 unless rekeyed).
+    pub fn version_count(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// All versions (for wrapping into recovery storage).
+    pub fn versions(&self) -> &[SecretVersion] {
+        &self.versions
+    }
+
+    /// Encrypts a private write-set for the entry at `txid`. The AAD binds
+    /// the ciphertext to the transaction and the public part's digest.
+    pub fn encrypt(
+        &self,
+        txid: TxId,
+        public_digest: &Digest32,
+        private_plain: &[u8],
+    ) -> Vec<u8> {
+        if private_plain.is_empty() {
+            return Vec::new();
+        }
+        let key = self.key_for(txid.seqno).expect("no ledger secret for seqno");
+        let gcm = AesGcm256::new(key);
+        let nonce = derive_nonce(NONCE_LABEL_LEDGER, txid.view, txid.seqno);
+        gcm.seal(&nonce, &Self::aad(txid, public_digest), private_plain)
+    }
+
+    /// Decrypts a private write-set blob produced by [`LedgerSecrets::encrypt`].
+    pub fn decrypt(
+        &self,
+        txid: TxId,
+        public_digest: &Digest32,
+        private_enc: &[u8],
+    ) -> Result<Vec<u8>, CryptoError> {
+        if private_enc.is_empty() {
+            return Ok(Vec::new());
+        }
+        let key = self
+            .key_for(txid.seqno)
+            .ok_or(CryptoError::BadShares("no ledger secret covers this seqno"))?;
+        let gcm = AesGcm256::new(key);
+        let nonce = derive_nonce(NONCE_LABEL_LEDGER, txid.view, txid.seqno);
+        gcm.open(&nonce, &Self::aad(txid, public_digest), private_enc)
+    }
+
+    fn aad(txid: TxId, public_digest: &Digest32) -> Vec<u8> {
+        let mut w = Writer::with_capacity(48);
+        w.u64(txid.view);
+        w.u64(txid.seqno);
+        w.raw(public_digest);
+        w.finish()
+    }
+
+    /// Serializes all secret versions (sealed before storage: callers wrap
+    /// this in [`wrap`]/[`unwrap_with`]).
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u32(self.versions.len() as u32);
+        for v in &self.versions {
+            w.u64(v.from_seqno);
+            w.raw(&v.key);
+        }
+        w.finish()
+    }
+
+    /// Restores [`LedgerSecrets::serialize`].
+    pub fn deserialize(bytes: &[u8]) -> Result<LedgerSecrets, CodecError> {
+        let mut r = Reader::new(bytes);
+        let count = r.u32("secret version count")?;
+        if count == 0 {
+            return Err(CodecError::BadValue { context: "secret version count" });
+        }
+        let mut versions = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let from_seqno = r.u64("secret from_seqno")?;
+            let key = r.array::<32>("secret key")?;
+            versions.push(SecretVersion { from_seqno, key });
+        }
+        if !r.is_at_end() {
+            return Err(CodecError::BadLength { context: "secret trailing bytes" });
+        }
+        Ok(LedgerSecrets::from_versions(versions))
+    }
+}
+
+/// Wraps serialized ledger secrets under the *ledger secret wrapping key*
+/// — the key that is Shamir-shared to consortium members (§5.2). The
+/// wrapped blob is what `public:ccf.internal.ledger_secret` stores.
+pub fn wrap(wrapping_key: &[u8; 32], secrets: &LedgerSecrets) -> Vec<u8> {
+    let gcm = AesGcm256::new(wrapping_key);
+    let nonce = derive_nonce(0x02, 0, 0);
+    gcm.seal(&nonce, b"ccf-ledger-secret-wrap", &secrets.serialize())
+}
+
+/// Unwraps [`wrap`] output given the reconstructed wrapping key.
+pub fn unwrap_with(
+    wrapping_key: &[u8; 32],
+    wrapped: &[u8],
+) -> Result<LedgerSecrets, CryptoError> {
+    let gcm = AesGcm256::new(wrapping_key);
+    let nonce = derive_nonce(0x02, 0, 0);
+    let plain = gcm.open(&nonce, b"ccf-ledger-secret-wrap", wrapped)?;
+    LedgerSecrets::deserialize(&plain).map_err(|_| CryptoError::Encoding("bad wrapped secrets"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let secrets = LedgerSecrets::new([1u8; 32]);
+        let txid = TxId::new(2, 10);
+        let pd = [5u8; 32];
+        let ct = secrets.encrypt(txid, &pd, b"private payload");
+        assert_ne!(ct, b"private payload");
+        assert_eq!(secrets.decrypt(txid, &pd, &ct).unwrap(), b"private payload");
+    }
+
+    #[test]
+    fn aad_binds_txid_and_public_digest() {
+        let secrets = LedgerSecrets::new([1u8; 32]);
+        let txid = TxId::new(2, 10);
+        let pd = [5u8; 32];
+        let ct = secrets.encrypt(txid, &pd, b"payload");
+        assert!(secrets.decrypt(TxId::new(2, 11), &pd, &ct).is_err());
+        assert!(secrets.decrypt(TxId::new(3, 10), &pd, &ct).is_err());
+        assert!(secrets.decrypt(txid, &[6u8; 32], &ct).is_err());
+    }
+
+    #[test]
+    fn empty_private_part() {
+        let secrets = LedgerSecrets::new([1u8; 32]);
+        let ct = secrets.encrypt(TxId::new(1, 1), &[0u8; 32], b"");
+        assert!(ct.is_empty());
+        assert_eq!(secrets.decrypt(TxId::new(1, 1), &[0u8; 32], &ct).unwrap(), b"");
+    }
+
+    #[test]
+    fn rekey_selects_correct_version() {
+        let mut secrets = LedgerSecrets::new([1u8; 32]);
+        secrets.rekey(100, [2u8; 32]);
+        secrets.rekey(200, [3u8; 32]);
+        assert_eq!(secrets.key_for(1), Some(&[1u8; 32]));
+        assert_eq!(secrets.key_for(99), Some(&[1u8; 32]));
+        assert_eq!(secrets.key_for(100), Some(&[2u8; 32]));
+        assert_eq!(secrets.key_for(199), Some(&[2u8; 32]));
+        assert_eq!(secrets.key_for(200), Some(&[3u8; 32]));
+        assert_eq!(secrets.key_for(u64::MAX), Some(&[3u8; 32]));
+        // Entries encrypted before a rekey still decrypt after it.
+        let pd = [0u8; 32];
+        let early = secrets.encrypt(TxId::new(1, 50), &pd, b"old data");
+        secrets.rekey(300, [4u8; 32]);
+        assert_eq!(secrets.decrypt(TxId::new(1, 50), &pd, &early).unwrap(), b"old data");
+    }
+
+    #[test]
+    fn serialize_roundtrip() {
+        let mut secrets = LedgerSecrets::new([1u8; 32]);
+        secrets.rekey(10, [2u8; 32]);
+        let restored = LedgerSecrets::deserialize(&secrets.serialize()).unwrap();
+        assert_eq!(restored.version_count(), 2);
+        assert_eq!(restored.key_for(5), Some(&[1u8; 32]));
+        assert_eq!(restored.key_for(15), Some(&[2u8; 32]));
+        assert!(LedgerSecrets::deserialize(&[]).is_err());
+    }
+
+    #[test]
+    fn wrap_unwrap() {
+        let secrets = LedgerSecrets::new([7u8; 32]);
+        let wk = [9u8; 32];
+        let wrapped = wrap(&wk, &secrets);
+        let restored = unwrap_with(&wk, &wrapped).unwrap();
+        assert_eq!(restored.key_for(1), Some(&[7u8; 32]));
+        assert!(unwrap_with(&[8u8; 32], &wrapped).is_err());
+        let mut tampered = wrapped.clone();
+        tampered[0] ^= 1;
+        assert!(unwrap_with(&wk, &tampered).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "move forward")]
+    fn rekey_backwards_panics() {
+        let mut secrets = LedgerSecrets::new([1u8; 32]);
+        secrets.rekey(100, [2u8; 32]);
+        secrets.rekey(50, [3u8; 32]);
+    }
+}

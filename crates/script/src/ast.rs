@@ -1,0 +1,121 @@
+//! The CScript abstract syntax tree.
+
+/// A binary operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+` (numeric addition or string concatenation)
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit)
+    And,
+    /// `||` (short-circuit)
+    Or,
+}
+
+/// An expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// `null`
+    Null,
+    /// Boolean literal.
+    Bool(bool),
+    /// Numeric literal.
+    Num(f64),
+    /// String literal.
+    Str(String),
+    /// Variable reference.
+    Var(String),
+    /// Array literal.
+    Array(Vec<Expr>),
+    /// Object literal.
+    Object(Vec<(String, Expr)>),
+    /// Unary negation `-e`.
+    Neg(Box<Expr>),
+    /// Logical not `!e`.
+    Not(Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Indexing `a[i]` (arrays by number, objects by string).
+    Index(Box<Expr>, Box<Expr>),
+    /// Member access `a.b` (sugar for `a["b"]`).
+    Member(Box<Expr>, String),
+    /// Function call `f(args...)` — user functions and builtins share a
+    /// namespace, with user functions taking precedence.
+    Call(String, Vec<Expr>),
+}
+
+/// An assignment target.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Target {
+    /// A variable.
+    Var(String),
+    /// An element/field of a container expression.
+    Index(Expr, Expr),
+}
+
+/// A statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// `let name = expr;`
+    Let(String, Expr),
+    /// `target = expr;`
+    Assign(Target, Expr),
+    /// An expression evaluated for effect.
+    Expr(Expr),
+    /// `if (cond) {..} else {..}` (else optional; else-if chains nest).
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while (cond) {..}`
+    While(Expr, Vec<Stmt>),
+    /// `for (name of expr) {..}`
+    ForOf(String, Expr, Vec<Stmt>),
+    /// `return expr;` (expr optional → null).
+    Return(Option<Expr>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+}
+
+/// A function definition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Function {
+    /// The function name.
+    pub name: String,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// The body.
+    pub body: Vec<Stmt>,
+}
+
+/// A compiled program: a set of top-level functions.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Program {
+    /// All functions, in declaration order.
+    pub functions: Vec<Function>,
+}
+
+impl Program {
+    /// Finds a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+}

@@ -1,0 +1,776 @@
+//! The CScript tree-walking interpreter.
+//!
+//! Execution is bounded by a *fuel* budget (one unit per AST node visited)
+//! and all side effects flow through the [`Host`] trait, so scripts can be
+//! run inside transaction execution with the same guarantees as native
+//! endpoints: key-value access is mediated, and runaway scripts abort.
+
+use crate::ast::*;
+use crate::value::Value;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Errors raised during script execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScriptError {
+    /// Lexing or parsing failed.
+    Syntax(String),
+    /// A runtime type error or missing identifier.
+    Runtime(String),
+    /// The fuel budget was exhausted.
+    OutOfFuel,
+    /// A host call failed (e.g. kv access to a forbidden map).
+    Host(String),
+}
+
+impl std::fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScriptError::Syntax(m) => write!(f, "syntax error: {m}"),
+            ScriptError::Runtime(m) => write!(f, "runtime error: {m}"),
+            ScriptError::OutOfFuel => write!(f, "script exceeded its fuel budget"),
+            ScriptError::Host(m) => write!(f, "host error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ScriptError {}
+
+/// The interface scripts use to touch the outside world. Implemented by
+/// the node layer over an open kv transaction, and by governance over the
+/// proposal context.
+pub trait Host {
+    /// Reads a key from a map; None if absent.
+    fn kv_get(&mut self, map: &str, key: &str) -> Result<Option<String>, String>;
+    /// Writes a key.
+    fn kv_put(&mut self, map: &str, key: &str, value: &str) -> Result<(), String>;
+    /// Removes a key.
+    fn kv_remove(&mut self, map: &str, key: &str) -> Result<(), String>;
+    /// Lists the keys of a map, sorted.
+    fn kv_keys(&mut self, map: &str) -> Result<Vec<String>, String>;
+}
+
+/// A host that rejects every effect — for pure computations (ballot
+/// predicates that only inspect their arguments, unit tests).
+pub struct NoHost;
+
+impl Host for NoHost {
+    fn kv_get(&mut self, _map: &str, _key: &str) -> Result<Option<String>, String> {
+        Err("kv access not available in this context".to_string())
+    }
+    fn kv_put(&mut self, _map: &str, _key: &str, _value: &str) -> Result<(), String> {
+        Err("kv access not available in this context".to_string())
+    }
+    fn kv_remove(&mut self, _map: &str, _key: &str) -> Result<(), String> {
+        Err("kv access not available in this context".to_string())
+    }
+    fn kv_keys(&mut self, _map: &str) -> Result<Vec<String>, String> {
+        Err("kv access not available in this context".to_string())
+    }
+}
+
+enum Flow {
+    Normal,
+    Break,
+    Continue,
+    Return(Value),
+}
+
+/// An interpreter instance bound to a compiled program.
+pub struct Interpreter<'p> {
+    program: &'p Program,
+    fuel: u64,
+}
+
+type Scope = BTreeMap<String, Value>;
+
+impl<'p> Interpreter<'p> {
+    /// Creates an interpreter with a fuel budget.
+    pub fn new(program: &'p Program, fuel: u64) -> Self {
+        Interpreter { program, fuel }
+    }
+
+    /// Remaining fuel (for tests and metering).
+    pub fn fuel_left(&self) -> u64 {
+        self.fuel
+    }
+
+    fn burn(&mut self) -> Result<(), ScriptError> {
+        if self.fuel == 0 {
+            return Err(ScriptError::OutOfFuel);
+        }
+        self.fuel -= 1;
+        Ok(())
+    }
+
+    /// Calls a top-level function by name.
+    pub fn call(
+        &mut self,
+        name: &str,
+        args: Vec<Value>,
+        host: &mut dyn Host,
+    ) -> Result<Value, ScriptError> {
+        let f = self
+            .program
+            .function(name)
+            .ok_or_else(|| ScriptError::Runtime(format!("no function named {name}")))?;
+        if args.len() != f.params.len() {
+            return Err(ScriptError::Runtime(format!(
+                "{name} expects {} args, got {}",
+                f.params.len(),
+                args.len()
+            )));
+        }
+        let mut scope: Scope = f.params.iter().cloned().zip(args).collect();
+        match self.exec_block(&f.body, &mut scope, host)? {
+            Flow::Return(v) => Ok(v),
+            _ => Ok(Value::Null),
+        }
+    }
+
+    fn exec_block(
+        &mut self,
+        stmts: &[Stmt],
+        scope: &mut Scope,
+        host: &mut dyn Host,
+    ) -> Result<Flow, ScriptError> {
+        for stmt in stmts {
+            match self.exec_stmt(stmt, scope, host)? {
+                Flow::Normal => {}
+                flow => return Ok(flow),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stmt(
+        &mut self,
+        stmt: &Stmt,
+        scope: &mut Scope,
+        host: &mut dyn Host,
+    ) -> Result<Flow, ScriptError> {
+        self.burn()?;
+        match stmt {
+            Stmt::Let(name, expr) => {
+                let v = self.eval(expr, scope, host)?;
+                scope.insert(name.clone(), v);
+                Ok(Flow::Normal)
+            }
+            Stmt::Assign(target, expr) => {
+                let v = self.eval(expr, scope, host)?;
+                self.assign(target, v, scope, host)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::Expr(expr) => {
+                self.eval(expr, scope, host)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::If(cond, then, otherwise) => {
+                if self.eval(cond, scope, host)?.truthy() {
+                    self.exec_block(then, scope, host)
+                } else {
+                    self.exec_block(otherwise, scope, host)
+                }
+            }
+            Stmt::While(cond, body) => {
+                while self.eval(cond, scope, host)?.truthy() {
+                    self.burn()?;
+                    match self.exec_block(body, scope, host)? {
+                        Flow::Break => break,
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                        Flow::Normal | Flow::Continue => {}
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::ForOf(var, iter, body) => {
+                let iterable = self.eval(iter, scope, host)?;
+                let items: Vec<Value> = match &iterable {
+                    Value::Arr(a) => a.as_ref().clone(),
+                    Value::Obj(o) => o.keys().map(|k| Value::str(k.clone())).collect(),
+                    other => {
+                        return Err(ScriptError::Runtime(format!(
+                            "cannot iterate over {}",
+                            other.type_name()
+                        )))
+                    }
+                };
+                for item in items {
+                    self.burn()?;
+                    scope.insert(var.clone(), item);
+                    match self.exec_block(body, scope, host)? {
+                        Flow::Break => break,
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                        Flow::Normal | Flow::Continue => {}
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Return(expr) => {
+                let v = match expr {
+                    Some(e) => self.eval(e, scope, host)?,
+                    None => Value::Null,
+                };
+                Ok(Flow::Return(v))
+            }
+            Stmt::Break => Ok(Flow::Break),
+            Stmt::Continue => Ok(Flow::Continue),
+        }
+    }
+
+    fn assign(
+        &mut self,
+        target: &Target,
+        value: Value,
+        scope: &mut Scope,
+        host: &mut dyn Host,
+    ) -> Result<(), ScriptError> {
+        match target {
+            Target::Var(name) => {
+                scope.insert(name.clone(), value);
+                Ok(())
+            }
+            Target::Index(base_expr, idx_expr) => {
+                // Only direct variables support container mutation (scripts
+                // here never need deeper paths; `a.b.c = x` can be written
+                // with temporaries).
+                let Expr::Var(base_name) = base_expr else {
+                    return Err(ScriptError::Runtime(
+                        "assignment base must be a variable".to_string(),
+                    ));
+                };
+                let idx = self.eval(idx_expr, scope, host)?;
+                let container = scope
+                    .get(base_name)
+                    .cloned()
+                    .ok_or_else(|| ScriptError::Runtime(format!("unknown variable {base_name}")))?;
+                let updated = match (container, &idx) {
+                    (Value::Obj(o), Value::Str(k)) => {
+                        let mut m = o.as_ref().clone();
+                        m.insert(k.clone(), value);
+                        Value::Obj(Rc::new(m))
+                    }
+                    (Value::Arr(a), Value::Num(n)) => {
+                        let mut items = a.as_ref().clone();
+                        let i = *n as usize;
+                        if i >= items.len() {
+                            return Err(ScriptError::Runtime(format!(
+                                "array index {i} out of bounds (len {})",
+                                items.len()
+                            )));
+                        }
+                        items[i] = value;
+                        Value::Arr(Rc::new(items))
+                    }
+                    (c, i) => {
+                        return Err(ScriptError::Runtime(format!(
+                            "cannot index {} with {}",
+                            c.type_name(),
+                            i.type_name()
+                        )))
+                    }
+                };
+                scope.insert(base_name.clone(), updated);
+                Ok(())
+            }
+        }
+    }
+
+    fn eval(
+        &mut self,
+        expr: &Expr,
+        scope: &mut Scope,
+        host: &mut dyn Host,
+    ) -> Result<Value, ScriptError> {
+        self.burn()?;
+        match expr {
+            Expr::Null => Ok(Value::Null),
+            Expr::Bool(b) => Ok(Value::Bool(*b)),
+            Expr::Num(n) => Ok(Value::Num(*n)),
+            Expr::Str(s) => Ok(Value::Str(s.clone())),
+            Expr::Var(name) => scope
+                .get(name)
+                .cloned()
+                .ok_or_else(|| ScriptError::Runtime(format!("unknown variable {name}"))),
+            Expr::Array(items) => {
+                let mut out = Vec::with_capacity(items.len());
+                for item in items {
+                    out.push(self.eval(item, scope, host)?);
+                }
+                Ok(Value::arr(out))
+            }
+            Expr::Object(fields) => {
+                let mut out = BTreeMap::new();
+                for (k, v) in fields {
+                    out.insert(k.clone(), self.eval(v, scope, host)?);
+                }
+                Ok(Value::Obj(Rc::new(out)))
+            }
+            Expr::Neg(e) => {
+                let v = self.eval(e, scope, host)?;
+                v.as_num()
+                    .map(|n| Value::Num(-n))
+                    .ok_or_else(|| ScriptError::Runtime("cannot negate non-number".to_string()))
+            }
+            Expr::Not(e) => Ok(Value::Bool(!self.eval(e, scope, host)?.truthy())),
+            Expr::Bin(op, l, r) => self.eval_bin(*op, l, r, scope, host),
+            Expr::Index(base, idx) => {
+                let b = self.eval(base, scope, host)?;
+                let i = self.eval(idx, scope, host)?;
+                match (&b, &i) {
+                    (Value::Arr(a), Value::Num(n)) => {
+                        Ok(a.get(*n as usize).cloned().unwrap_or(Value::Null))
+                    }
+                    (Value::Obj(o), Value::Str(k)) => {
+                        Ok(o.get(k.as_str()).cloned().unwrap_or(Value::Null))
+                    }
+                    (Value::Str(s), Value::Num(n)) => Ok(s
+                        .chars()
+                        .nth(*n as usize)
+                        .map(|c| Value::str(c.to_string()))
+                        .unwrap_or(Value::Null)),
+                    (b, i) => Err(ScriptError::Runtime(format!(
+                        "cannot index {} with {}",
+                        b.type_name(),
+                        i.type_name()
+                    ))),
+                }
+            }
+            Expr::Member(base, field) => {
+                let b = self.eval(base, scope, host)?;
+                match &b {
+                    Value::Obj(o) => Ok(o.get(field.as_str()).cloned().unwrap_or(Value::Null)),
+                    other => Err(ScriptError::Runtime(format!(
+                        "cannot access field {field} of {}",
+                        other.type_name()
+                    ))),
+                }
+            }
+            Expr::Call(name, args) => {
+                let mut values = Vec::with_capacity(args.len());
+                for a in args {
+                    values.push(self.eval(a, scope, host)?);
+                }
+                // User functions shadow builtins.
+                if self.program.function(name).is_some() {
+                    return self.call(name, values, host);
+                }
+                self.call_builtin(name, values, host)
+            }
+        }
+    }
+
+    fn eval_bin(
+        &mut self,
+        op: BinOp,
+        l: &Expr,
+        r: &Expr,
+        scope: &mut Scope,
+        host: &mut dyn Host,
+    ) -> Result<Value, ScriptError> {
+        // Short-circuit logicals first.
+        match op {
+            BinOp::And => {
+                let lv = self.eval(l, scope, host)?;
+                if !lv.truthy() {
+                    return Ok(Value::Bool(false));
+                }
+                return Ok(Value::Bool(self.eval(r, scope, host)?.truthy()));
+            }
+            BinOp::Or => {
+                let lv = self.eval(l, scope, host)?;
+                if lv.truthy() {
+                    return Ok(Value::Bool(true));
+                }
+                return Ok(Value::Bool(self.eval(r, scope, host)?.truthy()));
+            }
+            _ => {}
+        }
+        let lv = self.eval(l, scope, host)?;
+        let rv = self.eval(r, scope, host)?;
+        let num_op = |f: fn(f64, f64) -> f64| -> Result<Value, ScriptError> {
+            match (lv.as_num(), rv.as_num()) {
+                (Some(a), Some(b)) => Ok(Value::Num(f(a, b))),
+                _ => Err(ScriptError::Runtime(format!(
+                    "numeric operator on {} and {}",
+                    lv.type_name(),
+                    rv.type_name()
+                ))),
+            }
+        };
+        match op {
+            BinOp::Add => match (&lv, &rv) {
+                (Value::Num(a), Value::Num(b)) => Ok(Value::Num(a + b)),
+                (Value::Str(a), Value::Str(b)) => Ok(Value::Str(format!("{a}{b}"))),
+                (Value::Str(a), b) => Ok(Value::Str(format!("{a}{}", display(b)))),
+                (a, Value::Str(b)) => Ok(Value::Str(format!("{}{b}", display(a)))),
+                (Value::Arr(a), Value::Arr(b)) => {
+                    let mut out = a.as_ref().clone();
+                    out.extend(b.iter().cloned());
+                    Ok(Value::arr(out))
+                }
+                _ => Err(ScriptError::Runtime("invalid + operands".to_string())),
+            },
+            BinOp::Sub => num_op(|a, b| a - b),
+            BinOp::Mul => num_op(|a, b| a * b),
+            BinOp::Div => num_op(|a, b| a / b),
+            BinOp::Mod => num_op(|a, b| a % b),
+            BinOp::Eq => Ok(Value::Bool(lv == rv)),
+            BinOp::Ne => Ok(Value::Bool(lv != rv)),
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                let ord = match (&lv, &rv) {
+                    (Value::Num(a), Value::Num(b)) => a.partial_cmp(b),
+                    (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+                    _ => None,
+                }
+                .ok_or_else(|| {
+                    ScriptError::Runtime(format!(
+                        "cannot compare {} and {}",
+                        lv.type_name(),
+                        rv.type_name()
+                    ))
+                })?;
+                let b = match op {
+                    BinOp::Lt => ord == std::cmp::Ordering::Less,
+                    BinOp::Le => ord != std::cmp::Ordering::Greater,
+                    BinOp::Gt => ord == std::cmp::Ordering::Greater,
+                    BinOp::Ge => ord != std::cmp::Ordering::Less,
+                    _ => unreachable!(),
+                };
+                Ok(Value::Bool(b))
+            }
+            BinOp::And | BinOp::Or => unreachable!("handled above"),
+        }
+    }
+
+    fn call_builtin(
+        &mut self,
+        name: &str,
+        mut args: Vec<Value>,
+        host: &mut dyn Host,
+    ) -> Result<Value, ScriptError> {
+        let arity = |n: usize| -> Result<(), ScriptError> {
+            if args.len() == n {
+                Ok(())
+            } else {
+                Err(ScriptError::Runtime(format!("{name} expects {n} args, got {}", args.len())))
+            }
+        };
+        match name {
+            "len" => {
+                arity(1)?;
+                let n = match &args[0] {
+                    Value::Str(s) => s.chars().count(),
+                    Value::Arr(a) => a.len(),
+                    Value::Obj(o) => o.len(),
+                    other => {
+                        return Err(ScriptError::Runtime(format!(
+                            "len of {}",
+                            other.type_name()
+                        )))
+                    }
+                };
+                Ok(Value::Num(n as f64))
+            }
+            "str" => {
+                arity(1)?;
+                Ok(Value::Str(display(&args[0])))
+            }
+            "num" => {
+                arity(1)?;
+                match &args[0] {
+                    Value::Num(n) => Ok(Value::Num(*n)),
+                    Value::Str(s) => s
+                        .trim()
+                        .parse::<f64>()
+                        .map(Value::Num)
+                        .map_err(|_| ScriptError::Runtime(format!("num({s:?}) failed"))),
+                    Value::Bool(b) => Ok(Value::Num(*b as u8 as f64)),
+                    other => Err(ScriptError::Runtime(format!("num of {}", other.type_name()))),
+                }
+            }
+            "floor" => {
+                arity(1)?;
+                args[0]
+                    .as_num()
+                    .map(|n| Value::Num(n.floor()))
+                    .ok_or_else(|| ScriptError::Runtime("floor of non-number".to_string()))
+            }
+            "push" => {
+                arity(2)?;
+                let item = args.pop().unwrap();
+                match args.pop().unwrap() {
+                    Value::Arr(a) => {
+                        let mut out = a.as_ref().clone();
+                        out.push(item);
+                        Ok(Value::arr(out))
+                    }
+                    other => Err(ScriptError::Runtime(format!("push to {}", other.type_name()))),
+                }
+            }
+            "keys" => {
+                arity(1)?;
+                match &args[0] {
+                    Value::Obj(o) => {
+                        Ok(Value::arr(o.keys().map(|k| Value::str(k.clone())).collect()))
+                    }
+                    other => Err(ScriptError::Runtime(format!("keys of {}", other.type_name()))),
+                }
+            }
+            "has" => {
+                arity(2)?;
+                match (&args[0], &args[1]) {
+                    (Value::Obj(o), Value::Str(k)) => Ok(Value::Bool(o.contains_key(k.as_str()))),
+                    (Value::Arr(a), v) => Ok(Value::Bool(a.contains(v))),
+                    (Value::Str(s), Value::Str(sub)) => Ok(Value::Bool(s.contains(sub.as_str()))),
+                    _ => Err(ScriptError::Runtime("invalid has() operands".to_string())),
+                }
+            }
+            "range" => {
+                arity(1)?;
+                let n = args[0]
+                    .as_num()
+                    .ok_or_else(|| ScriptError::Runtime("range of non-number".to_string()))?;
+                Ok(Value::arr((0..n as u64).map(|i| Value::Num(i as f64)).collect()))
+            }
+            "typeof" => {
+                arity(1)?;
+                Ok(Value::str(args[0].type_name()))
+            }
+            "json_stringify" => {
+                arity(1)?;
+                Ok(Value::Str(crate::json::to_json(&args[0])))
+            }
+            "json_parse" => {
+                arity(1)?;
+                let s = args[0]
+                    .as_str()
+                    .ok_or_else(|| ScriptError::Runtime("json_parse of non-string".to_string()))?;
+                crate::json::parse_json(s)
+                    .map_err(|e| ScriptError::Runtime(format!("json_parse: {e}")))
+            }
+            "kv_get" => {
+                arity(2)?;
+                let (map, key) = two_strs(name, &args)?;
+                match host.kv_get(map, key).map_err(ScriptError::Host)? {
+                    Some(v) => Ok(Value::Str(v)),
+                    None => Ok(Value::Null),
+                }
+            }
+            "kv_put" => {
+                arity(3)?;
+                let map = expect_str(name, &args[0])?;
+                let key = expect_str(name, &args[1])?;
+                let value = expect_str(name, &args[2])?;
+                host.kv_put(map, key, value).map_err(ScriptError::Host)?;
+                Ok(Value::Null)
+            }
+            "kv_remove" => {
+                arity(2)?;
+                let (map, key) = two_strs(name, &args)?;
+                host.kv_remove(map, key).map_err(ScriptError::Host)?;
+                Ok(Value::Null)
+            }
+            "kv_keys" => {
+                arity(1)?;
+                let map = expect_str(name, &args[0])?;
+                let keys = host.kv_keys(map).map_err(ScriptError::Host)?;
+                Ok(Value::arr(keys.into_iter().map(Value::Str).collect()))
+            }
+            _ => Err(ScriptError::Runtime(format!("unknown function {name}"))),
+        }
+    }
+}
+
+fn expect_str<'a>(ctx: &str, v: &'a Value) -> Result<&'a str, ScriptError> {
+    v.as_str()
+        .ok_or_else(|| ScriptError::Runtime(format!("{ctx}: expected string, got {}", v.type_name())))
+}
+
+fn two_strs<'a>(ctx: &str, args: &'a [Value]) -> Result<(&'a str, &'a str), ScriptError> {
+    Ok((expect_str(ctx, &args[0])?, expect_str(ctx, &args[1])?))
+}
+
+/// JavaScript-ish string conversion.
+pub fn display(v: &Value) -> String {
+    match v {
+        Value::Null => "null".to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Num(n) => {
+            if n.fract() == 0.0 && n.abs() < 1e15 {
+                format!("{}", *n as i64)
+            } else {
+                format!("{n}")
+            }
+        }
+        Value::Str(s) => s.clone(),
+        other => crate::json::to_json(other),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compile, run};
+
+    fn eval(src: &str, args: Vec<Value>) -> Value {
+        run(src, "main", args, &mut NoHost, 1_000_000).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_strings() {
+        assert_eq!(eval("function main() { return 2 + 3 * 4 - 6 / 2; }", vec![]), Value::Num(11.0));
+        assert_eq!(
+            eval(r#"function main() { return "n=" + 42; }"#, vec![]),
+            Value::str("n=42")
+        );
+        assert_eq!(eval("function main() { return 7 % 3; }", vec![]), Value::Num(1.0));
+    }
+
+    #[test]
+    fn control_flow() {
+        let src = r#"
+        function main(n) {
+            let total = 0;
+            for (i of range(n)) {
+                if (i % 2 == 0) { total = total + i; }
+            }
+            return total;
+        }"#;
+        assert_eq!(eval(src, vec![Value::Num(10.0)]), Value::Num(20.0));
+    }
+
+    #[test]
+    fn while_break_continue() {
+        let src = r#"
+        function main() {
+            let i = 0;
+            let hits = 0;
+            while (true) {
+                i = i + 1;
+                if (i > 10) { break; }
+                if (i % 2 == 0) { continue; }
+                hits = hits + 1;
+            }
+            return hits;
+        }"#;
+        assert_eq!(eval(src, vec![]), Value::Num(5.0));
+    }
+
+    #[test]
+    fn objects_arrays_and_mutation() {
+        let src = r#"
+        function main() {
+            let o = { count: 0, tags: ["a"] };
+            o.count = o.count + 1;
+            o["count"] = o.count + 1;
+            let t = o.tags;
+            t = push(t, "b");
+            o.tags = t;
+            return o;
+        }"#;
+        let v = eval(src, vec![]);
+        assert_eq!(v.get("count"), Some(&Value::Num(2.0)));
+        assert_eq!(v.get("tags").unwrap().as_arr().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn user_functions_and_recursion() {
+        let src = r#"
+        function fib(n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }
+        function main() { return fib(12); }"#;
+        assert_eq!(eval(src, vec![]), Value::Num(144.0));
+    }
+
+    #[test]
+    fn builtins() {
+        assert_eq!(eval(r#"function main() { return len("héllo"); }"#, vec![]), Value::Num(5.0));
+        assert_eq!(
+            eval(r#"function main() { return has({ a: 1 }, "a"); }"#, vec![]),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval(r#"function main() { return keys({ b: 1, a: 2 }); }"#, vec![]),
+            Value::arr(vec![Value::str("a"), Value::str("b")])
+        );
+        assert_eq!(eval(r#"function main() { return num("42") + 1; }"#, vec![]), Value::Num(43.0));
+        assert_eq!(eval("function main() { return floor(2.9); }", vec![]), Value::Num(2.0));
+    }
+
+    #[test]
+    fn json_roundtrip_via_script() {
+        let src = r#"
+        function main() {
+            let o = json_parse("{\"k\": [1, true, null]}");
+            return json_stringify(o);
+        }"#;
+        assert_eq!(eval(src, vec![]), Value::str(r#"{"k":[1,true,null]}"#));
+    }
+
+    #[test]
+    fn host_kv_access() {
+        struct MapHost(BTreeMap<(String, String), String>);
+        impl Host for MapHost {
+            fn kv_get(&mut self, m: &str, k: &str) -> Result<Option<String>, String> {
+                Ok(self.0.get(&(m.to_string(), k.to_string())).cloned())
+            }
+            fn kv_put(&mut self, m: &str, k: &str, v: &str) -> Result<(), String> {
+                self.0.insert((m.to_string(), k.to_string()), v.to_string());
+                Ok(())
+            }
+            fn kv_remove(&mut self, m: &str, k: &str) -> Result<(), String> {
+                self.0.remove(&(m.to_string(), k.to_string()));
+                Ok(())
+            }
+            fn kv_keys(&mut self, m: &str) -> Result<Vec<String>, String> {
+                Ok(self.0.keys().filter(|(mm, _)| mm == m).map(|(_, k)| k.clone()).collect())
+            }
+        }
+        let mut host = MapHost(BTreeMap::new());
+        let src = r#"
+        function main(id, msg) {
+            kv_put("msgs", id, msg);
+            return kv_get("msgs", id);
+        }"#;
+        let v = run(src, "main", vec![Value::str("1"), Value::str("hello")], &mut host, 10_000)
+            .unwrap();
+        assert_eq!(v, Value::str("hello"));
+    }
+
+    #[test]
+    fn runtime_errors() {
+        let src = "function main() { return undefined_var; }";
+        assert!(matches!(
+            run(src, "main", vec![], &mut NoHost, 1000),
+            Err(ScriptError::Runtime(_))
+        ));
+        let src = "function main() { return 1 + {}; }";
+        assert!(run(src, "main", vec![], &mut NoHost, 1000).is_err());
+        let src = "function main() { }";
+        assert!(matches!(
+            run(src, "nope", vec![], &mut NoHost, 1000),
+            Err(ScriptError::Runtime(_))
+        ));
+    }
+
+    #[test]
+    fn fuel_is_consumed_proportionally() {
+        let program = compile("function main(n) { let x = 0; for (i of range(n)) { x = x + i; } return x; }").unwrap();
+        let mut small = Interpreter::new(&program, 1_000_000);
+        small.call("main", vec![Value::Num(10.0)], &mut NoHost).unwrap();
+        let used_small = 1_000_000 - small.fuel_left();
+        let mut large = Interpreter::new(&program, 1_000_000);
+        large.call("main", vec![Value::Num(100.0)], &mut NoHost).unwrap();
+        let used_large = 1_000_000 - large.fuel_left();
+        assert!(used_large > used_small * 5, "{used_small} vs {used_large}");
+    }
+
+    #[test]
+    fn short_circuit_evaluation() {
+        // The right side would error if evaluated.
+        let src = "function main() { return false && undefined_var; }";
+        assert_eq!(eval(src, vec![]), Value::Bool(false));
+        let src = "function main() { return true || undefined_var; }";
+        assert_eq!(eval(src, vec![]), Value::Bool(true));
+    }
+}

@@ -1,0 +1,281 @@
+//! JSON parsing and serialization for [`Value`].
+//!
+//! Governance proposals and ballots are "succinct JSON documents so that
+//! they are easy to inspect offline" (paper §5.1); this module is the JSON
+//! codec used for them and for script application payloads. Serialization
+//! is deterministic (object keys sorted by the underlying `BTreeMap`), so
+//! JSON documents can be hashed and signed stably.
+
+use crate::value::Value;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Serializes a value as compact JSON.
+pub fn to_json(v: &Value) -> String {
+    let mut out = String::new();
+    write_json(v, &mut out);
+    out
+}
+
+fn write_json(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Num(n) => {
+            if n.fract() == 0.0 && n.abs() < 1e15 {
+                out.push_str(&format!("{}", *n as i64));
+            } else if n.is_finite() {
+                out.push_str(&format!("{n}"));
+            } else {
+                out.push_str("null"); // JSON has no NaN/Inf
+            }
+        }
+        Value::Str(s) => write_json_string(s, out),
+        Value::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json(item, out);
+            }
+            out.push(']');
+        }
+        Value::Obj(fields) => {
+            out.push('{');
+            for (i, (k, v)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json_string(k, out);
+                out.push(':');
+                write_json(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses a JSON document into a [`Value`].
+pub fn parse_json(text: &str) -> Result<Value, String> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut p = JsonParser { chars, pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.chars.len() {
+        return Err(format!("trailing characters at offset {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct JsonParser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl JsonParser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Result<char, String> {
+        let c = self.peek().ok_or("unexpected end of JSON")?;
+        self.pos += 1;
+        Ok(c)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        let got = self.next()?;
+        if got == c {
+            Ok(())
+        } else {
+            Err(format!("expected {c:?}, got {got:?}"))
+        }
+    }
+
+    fn literal(&mut self, text: &str, v: Value) -> Result<Value, String> {
+        for c in text.chars() {
+            self.expect(c)?;
+        }
+        Ok(v)
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        match self.peek().ok_or("unexpected end of JSON")? {
+            'n' => self.literal("null", Value::Null),
+            't' => self.literal("true", Value::Bool(true)),
+            'f' => self.literal("false", Value::Bool(false)),
+            '"' => Ok(Value::Str(self.string()?)),
+            '[' => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(']') {
+                    self.pos += 1;
+                    return Ok(Value::arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.next()? {
+                        ',' => continue,
+                        ']' => return Ok(Value::arr(items)),
+                        c => return Err(format!("expected , or ] in array, got {c:?}")),
+                    }
+                }
+            }
+            '{' => {
+                self.pos += 1;
+                let mut fields = BTreeMap::new();
+                self.skip_ws();
+                if self.peek() == Some('}') {
+                    self.pos += 1;
+                    return Ok(Value::Obj(Rc::new(fields)));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(':')?;
+                    fields.insert(key, self.value()?);
+                    self.skip_ws();
+                    match self.next()? {
+                        ',' => continue,
+                        '}' => return Ok(Value::Obj(Rc::new(fields))),
+                        c => return Err(format!("expected , or }} in object, got {c:?}")),
+                    }
+                }
+            }
+            c if c == '-' || c.is_ascii_digit() => self.number(),
+            c => Err(format!("unexpected character {c:?}")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut s = String::new();
+        loop {
+            match self.next()? {
+                '"' => return Ok(s),
+                '\\' => match self.next()? {
+                    '"' => s.push('"'),
+                    '\\' => s.push('\\'),
+                    '/' => s.push('/'),
+                    'n' => s.push('\n'),
+                    'r' => s.push('\r'),
+                    't' => s.push('\t'),
+                    'b' => s.push('\u{8}'),
+                    'f' => s.push('\u{c}'),
+                    'u' => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let c = self.next()?;
+                            code = code * 16
+                                + c.to_digit(16).ok_or(format!("bad unicode escape {c:?}"))?;
+                        }
+                        s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    c => return Err(format!("bad escape \\{c}")),
+                },
+                c => s.push(c),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some('-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-')
+        {
+            self.pos += 1;
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        text.parse::<f64>().map(Value::Num).map_err(|_| format!("bad number {text:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let cases = [
+            "null",
+            "true",
+            "false",
+            "0",
+            "-17",
+            "3.5",
+            r#""hello""#,
+            r#""esc \" \\ \n""#,
+            "[]",
+            "[1,2,[3]]",
+            "{}",
+            r#"{"a":1,"b":[true,null]}"#,
+        ];
+        for case in cases {
+            let v = parse_json(case).unwrap();
+            assert_eq!(to_json(&v), *case.replace(" \" \\\\ ", " \\\" \\\\ "), "{case}");
+        }
+    }
+
+    #[test]
+    fn parses_whitespace_and_nesting() {
+        let v = parse_json(
+            r#" {
+            "actions" : [ { "name" : "set_user", "args" : { "cert" : "..." } } ]
+        } "#,
+        )
+        .unwrap();
+        let actions = v.get("actions").unwrap().as_arr().unwrap();
+        assert_eq!(actions[0].get("name").unwrap().as_str(), Some("set_user"));
+    }
+
+    #[test]
+    fn deterministic_key_order() {
+        let a = parse_json(r#"{"z":1,"a":2}"#).unwrap();
+        let b = parse_json(r#"{"a":2,"z":1}"#).unwrap();
+        assert_eq!(to_json(&a), to_json(&b));
+        assert_eq!(to_json(&a), r#"{"a":2,"z":1}"#);
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        let v = parse_json(r#""Aé""#).unwrap();
+        assert_eq!(v.as_str(), Some("Aé"));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in ["", "{", "[1,", r#"{"a"}"#, "tru", "01a", r#""unterminated"#, "[1] extra"] {
+            assert!(parse_json(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Tokenizer for CScript.
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    /// A numeric literal.
+    Num(f64),
+    /// A string literal (already unescaped).
+    Str(String),
+    /// An identifier or keyword.
+    Ident(String),
+    /// A punctuation or operator token, e.g. `+`, `==`, `{`.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+const PUNCTS2: &[&str] = &["==", "!=", "<=", ">=", "&&", "||"];
+const PUNCTS1: &[&str] = &[
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "(", ")", "{", "}", "[", "]", ",", ";", ":", ".",
+];
+
+/// Tokenizes `source`, producing a vector ending in [`Token::Eof`].
+pub fn lex(source: &str) -> Result<Vec<Token>, String> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments: // to end of line.
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            let n = text.parse::<f64>().map_err(|_| format!("bad number literal: {text}"))?;
+            out.push(Token::Num(n));
+            continue;
+        }
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            out.push(Token::Ident(chars[start..i].iter().collect()));
+            continue;
+        }
+        if c == '"' || c == '\'' {
+            let quote = c;
+            i += 1;
+            let mut s = String::new();
+            loop {
+                match chars.get(i) {
+                    None => return Err("unterminated string literal".to_string()),
+                    Some(&ch) if ch == quote => {
+                        i += 1;
+                        break;
+                    }
+                    Some('\\') => {
+                        i += 1;
+                        match chars.get(i) {
+                            Some('n') => s.push('\n'),
+                            Some('t') => s.push('\t'),
+                            Some('\\') => s.push('\\'),
+                            Some(&q) if q == quote => s.push(q),
+                            Some(&other) => s.push(other),
+                            None => return Err("unterminated escape".to_string()),
+                        }
+                        i += 1;
+                    }
+                    Some(&ch) => {
+                        s.push(ch);
+                        i += 1;
+                    }
+                }
+            }
+            out.push(Token::Str(s));
+            continue;
+        }
+        // Two-char then one-char punctuation.
+        if i + 1 < chars.len() {
+            let two: String = chars[i..i + 2].iter().collect();
+            if let Some(p) = PUNCTS2.iter().find(|&&p| p == two) {
+                out.push(Token::Punct(p));
+                i += 2;
+                continue;
+            }
+        }
+        let one = c.to_string();
+        if let Some(p) = PUNCTS1.iter().find(|&&p| p == one) {
+            out.push(Token::Punct(p));
+            i += 1;
+            continue;
+        }
+        return Err(format!("unexpected character {c:?}"));
+    }
+    out.push(Token::Eof);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_expression() {
+        let tokens = lex(r#"let x = 1 + 2.5; // comment
+            s = "a\"b";"#)
+        .unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::Ident("let".into()),
+                Token::Ident("x".into()),
+                Token::Punct("="),
+                Token::Num(1.0),
+                Token::Punct("+"),
+                Token::Num(2.5),
+                Token::Punct(";"),
+                Token::Ident("s".into()),
+                Token::Punct("="),
+                Token::Str("a\"b".into()),
+                Token::Punct(";"),
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn two_char_operators() {
+        let tokens = lex("a == b != c <= d >= e && f || g").unwrap();
+        let puncts: Vec<_> = tokens
+            .iter()
+            .filter_map(|t| match t {
+                Token::Punct(p) => Some(*p),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(puncts, vec!["==", "!=", "<=", ">=", "&&", "||"]);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("let x = @").is_err());
+        assert!(lex("\"unterminated").is_err());
+    }
+}

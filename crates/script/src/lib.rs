@@ -1,0 +1,83 @@
+//! CScript: a small interpreted language, standing in for CCF's QuickJS
+//! application runtime (paper §7) and JavaScript constitutions (§5.1).
+//!
+//! The production CCF lets services ship application logic and their
+//! constitution as JavaScript executed by QuickJS inside the enclave. This
+//! reproduction implements a compact JS-like language — enough to express
+//! the paper's example applications and the default constitution — so that
+//! Table 5's "C++ vs JS" dimension can be measured honestly as "native
+//! Rust vs interpreted CScript".
+//!
+//! Language summary:
+//!
+//! ```text
+//! let x = 1 + 2 * 3;            // numbers are f64
+//! let s = "msg " + str(x);      // strings, concatenation
+//! let a = [1, 2, 3];            // arrays
+//! let o = { k: "v", n: 7 };     // objects
+//! if (x > 5) { ... } else { ... }
+//! while (i < 10) { i = i + 1; }
+//! for (item of a) { ... }
+//! function f(a, b) { return a + b; }
+//! kv_put("map", key, value);    // host interface (see [`Host`])
+//! ```
+//!
+//! Programs run under a *fuel* budget so hostile scripts cannot spin the
+//! enclave forever, and all host effects go through the [`Host`] trait —
+//! the interpreter itself has no ambient authority.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod interp;
+pub mod json;
+pub mod lexer;
+pub mod parser;
+pub mod value;
+
+pub use interp::{Host, Interpreter, NoHost, ScriptError};
+pub use json::{parse_json, to_json};
+pub use value::Value;
+
+/// Compiles source text into an executable program.
+pub fn compile(source: &str) -> Result<ast::Program, ScriptError> {
+    let tokens = lexer::lex(source).map_err(ScriptError::Syntax)?;
+    parser::parse(tokens).map_err(ScriptError::Syntax)
+}
+
+/// Convenience: compile and call `entry(args...)` with the given host and
+/// fuel budget.
+pub fn run(
+    source: &str,
+    entry: &str,
+    args: Vec<Value>,
+    host: &mut dyn Host,
+    fuel: u64,
+) -> Result<Value, ScriptError> {
+    let program = compile(source)?;
+    let mut interp = Interpreter::new(&program, fuel);
+    interp.call(entry, args, host)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_function_call() {
+        let src = r#"
+            function add(a, b) { return a + b; }
+            function main(x) { return add(x, 32) * 2; }
+        "#;
+        let v = run(src, "main", vec![Value::Num(10.0)], &mut NoHost, 10_000).unwrap();
+        assert_eq!(v, Value::Num(84.0));
+    }
+
+    #[test]
+    fn fuel_limit_stops_infinite_loops() {
+        let src = "function main() { while (true) { } }";
+        let err = run(src, "main", vec![], &mut NoHost, 10_000).unwrap_err();
+        assert!(matches!(err, ScriptError::OutOfFuel));
+    }
+}

@@ -1,0 +1,416 @@
+//! Recursive-descent parser for CScript.
+
+use crate::ast::*;
+use crate::lexer::Token;
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+/// Parses a token stream into a program (top-level function definitions).
+pub fn parse(tokens: Vec<Token>) -> Result<Program, String> {
+    let mut p = Parser { tokens, pos: 0 };
+    let mut functions = Vec::new();
+    while !p.at_eof() {
+        functions.push(p.function()?);
+    }
+    Ok(Program { functions })
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek(), Token::Eof)
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if !matches!(t, Token::Eof) {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), String> {
+        match self.advance() {
+            Token::Punct(got) if got == p => Ok(()),
+            other => Err(format!("expected {p:?}, got {other:?}")),
+        }
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Token::Punct(got) if *got == p) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.advance() {
+            Token::Ident(name) => Ok(name),
+            other => Err(format!("expected identifier, got {other:?}")),
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Token::Ident(name) if name == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn function(&mut self) -> Result<Function, String> {
+        if !self.eat_keyword("function") {
+            return Err(format!("expected `function`, got {:?}", self.peek()));
+        }
+        let name = self.expect_ident()?;
+        self.expect_punct("(")?;
+        let mut params = Vec::new();
+        if !self.eat_punct(")") {
+            loop {
+                params.push(self.expect_ident()?);
+                if self.eat_punct(")") {
+                    break;
+                }
+                self.expect_punct(",")?;
+            }
+        }
+        let body = self.block()?;
+        Ok(Function { name, params, body })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, String> {
+        self.expect_punct("{")?;
+        let mut stmts = Vec::new();
+        while !self.eat_punct("}") {
+            if self.at_eof() {
+                return Err("unterminated block".to_string());
+            }
+            stmts.push(self.statement()?);
+        }
+        Ok(stmts)
+    }
+
+    fn statement(&mut self) -> Result<Stmt, String> {
+        if self.eat_keyword("let") {
+            let name = self.expect_ident()?;
+            self.expect_punct("=")?;
+            let value = self.expression()?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::Let(name, value));
+        }
+        if self.eat_keyword("return") {
+            if self.eat_punct(";") {
+                return Ok(Stmt::Return(None));
+            }
+            let value = self.expression()?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::Return(Some(value)));
+        }
+        if self.eat_keyword("break") {
+            self.expect_punct(";")?;
+            return Ok(Stmt::Break);
+        }
+        if self.eat_keyword("continue") {
+            self.expect_punct(";")?;
+            return Ok(Stmt::Continue);
+        }
+        if self.eat_keyword("if") {
+            return self.if_statement();
+        }
+        if self.eat_keyword("while") {
+            self.expect_punct("(")?;
+            let cond = self.expression()?;
+            self.expect_punct(")")?;
+            let body = self.block()?;
+            return Ok(Stmt::While(cond, body));
+        }
+        if self.eat_keyword("for") {
+            self.expect_punct("(")?;
+            // Allow `for (let x of e)` and `for (x of e)`.
+            self.eat_keyword("let");
+            let var = self.expect_ident()?;
+            if !self.eat_keyword("of") {
+                return Err("expected `of` in for loop".to_string());
+            }
+            let iter = self.expression()?;
+            self.expect_punct(")")?;
+            let body = self.block()?;
+            return Ok(Stmt::ForOf(var, iter, body));
+        }
+        // Expression or assignment.
+        let expr = self.expression()?;
+        if self.eat_punct("=") {
+            let value = self.expression()?;
+            self.expect_punct(";")?;
+            let target = match expr {
+                Expr::Var(name) => Target::Var(name),
+                Expr::Index(base, idx) => Target::Index(*base, *idx),
+                Expr::Member(base, field) => Target::Index(*base, Expr::Str(field)),
+                other => return Err(format!("invalid assignment target: {other:?}")),
+            };
+            return Ok(Stmt::Assign(target, value));
+        }
+        self.expect_punct(";")?;
+        Ok(Stmt::Expr(expr))
+    }
+
+    fn if_statement(&mut self) -> Result<Stmt, String> {
+        self.expect_punct("(")?;
+        let cond = self.expression()?;
+        self.expect_punct(")")?;
+        let then = self.block()?;
+        let otherwise = if self.eat_keyword("else") {
+            if self.eat_keyword("if") {
+                vec![self.if_statement()?]
+            } else {
+                self.block()?
+            }
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt::If(cond, then, otherwise))
+    }
+
+    fn expression(&mut self) -> Result<Expr, String> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, String> {
+        let mut left = self.and_expr()?;
+        while self.eat_punct("||") {
+            let right = self.and_expr()?;
+            left = Expr::Bin(BinOp::Or, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, String> {
+        let mut left = self.cmp_expr()?;
+        while self.eat_punct("&&") {
+            let right = self.cmp_expr()?;
+            left = Expr::Bin(BinOp::And, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, String> {
+        let left = self.add_expr()?;
+        let op = if self.eat_punct("==") {
+            BinOp::Eq
+        } else if self.eat_punct("!=") {
+            BinOp::Ne
+        } else if self.eat_punct("<=") {
+            BinOp::Le
+        } else if self.eat_punct(">=") {
+            BinOp::Ge
+        } else if self.eat_punct("<") {
+            BinOp::Lt
+        } else if self.eat_punct(">") {
+            BinOp::Gt
+        } else {
+            return Ok(left);
+        };
+        let right = self.add_expr()?;
+        Ok(Expr::Bin(op, Box::new(left), Box::new(right)))
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, String> {
+        let mut left = self.mul_expr()?;
+        loop {
+            if self.eat_punct("+") {
+                let right = self.mul_expr()?;
+                left = Expr::Bin(BinOp::Add, Box::new(left), Box::new(right));
+            } else if self.eat_punct("-") {
+                let right = self.mul_expr()?;
+                left = Expr::Bin(BinOp::Sub, Box::new(left), Box::new(right));
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, String> {
+        let mut left = self.unary_expr()?;
+        loop {
+            if self.eat_punct("*") {
+                left = Expr::Bin(BinOp::Mul, Box::new(left), Box::new(self.unary_expr()?));
+            } else if self.eat_punct("/") {
+                left = Expr::Bin(BinOp::Div, Box::new(left), Box::new(self.unary_expr()?));
+            } else if self.eat_punct("%") {
+                left = Expr::Bin(BinOp::Mod, Box::new(left), Box::new(self.unary_expr()?));
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, String> {
+        if self.eat_punct("-") {
+            return Ok(Expr::Neg(Box::new(self.unary_expr()?)));
+        }
+        if self.eat_punct("!") {
+            return Ok(Expr::Not(Box::new(self.unary_expr()?)));
+        }
+        self.postfix_expr()
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, String> {
+        let mut expr = self.primary_expr()?;
+        loop {
+            if self.eat_punct("[") {
+                let idx = self.expression()?;
+                self.expect_punct("]")?;
+                expr = Expr::Index(Box::new(expr), Box::new(idx));
+            } else if self.eat_punct(".") {
+                let field = self.expect_ident()?;
+                expr = Expr::Member(Box::new(expr), field);
+            } else {
+                return Ok(expr);
+            }
+        }
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, String> {
+        match self.advance() {
+            Token::Num(n) => Ok(Expr::Num(n)),
+            Token::Str(s) => Ok(Expr::Str(s)),
+            Token::Ident(name) => match name.as_str() {
+                "null" => Ok(Expr::Null),
+                "true" => Ok(Expr::Bool(true)),
+                "false" => Ok(Expr::Bool(false)),
+                _ => {
+                    if self.eat_punct("(") {
+                        let mut args = Vec::new();
+                        if !self.eat_punct(")") {
+                            loop {
+                                args.push(self.expression()?);
+                                if self.eat_punct(")") {
+                                    break;
+                                }
+                                self.expect_punct(",")?;
+                            }
+                        }
+                        Ok(Expr::Call(name, args))
+                    } else {
+                        Ok(Expr::Var(name))
+                    }
+                }
+            },
+            Token::Punct("(") => {
+                let e = self.expression()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            Token::Punct("[") => {
+                let mut items = Vec::new();
+                if !self.eat_punct("]") {
+                    loop {
+                        items.push(self.expression()?);
+                        if self.eat_punct("]") {
+                            break;
+                        }
+                        self.expect_punct(",")?;
+                    }
+                }
+                Ok(Expr::Array(items))
+            }
+            Token::Punct("{") => {
+                let mut fields = Vec::new();
+                if !self.eat_punct("}") {
+                    loop {
+                        let key = match self.advance() {
+                            Token::Ident(k) => k,
+                            Token::Str(k) => k,
+                            other => return Err(format!("expected object key, got {other:?}")),
+                        };
+                        self.expect_punct(":")?;
+                        fields.push((key, self.expression()?));
+                        if self.eat_punct("}") {
+                            break;
+                        }
+                        self.expect_punct(",")?;
+                    }
+                }
+                Ok(Expr::Object(fields))
+            }
+            other => Err(format!("unexpected token {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Program {
+        parse(lex(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn parses_function_with_control_flow() {
+        let p = parse_src(
+            r#"
+            function main(n) {
+                let total = 0;
+                for (i of range(n)) {
+                    if (i % 2 == 0) { total = total + i; } else { continue; }
+                }
+                while (total > 100) { total = total - 100; }
+                return total;
+            }
+            "#,
+        );
+        assert_eq!(p.functions.len(), 1);
+        assert_eq!(p.functions[0].params, vec!["n"]);
+        assert_eq!(p.functions[0].body.len(), 4);
+    }
+
+    #[test]
+    fn parses_literals_and_precedence() {
+        let p = parse_src("function f() { return 1 + 2 * 3; }");
+        let Stmt::Return(Some(Expr::Bin(BinOp::Add, _, right))) = &p.functions[0].body[0] else {
+            panic!("wrong shape");
+        };
+        assert!(matches!(**right, Expr::Bin(BinOp::Mul, _, _)));
+    }
+
+    #[test]
+    fn parses_member_and_index_assignment() {
+        let p = parse_src(r#"function f(o) { o.x = 1; o["y"] = 2; return o; }"#);
+        assert!(matches!(&p.functions[0].body[0], Stmt::Assign(Target::Index(_, _), _)));
+    }
+
+    #[test]
+    fn parses_else_if_chain() {
+        let p = parse_src(
+            "function f(x) { if (x > 2) { return 2; } else if (x > 1) { return 1; } else { return 0; } }",
+        );
+        let Stmt::If(_, _, otherwise) = &p.functions[0].body[0] else { panic!() };
+        assert!(matches!(&otherwise[0], Stmt::If(_, _, _)));
+    }
+
+    #[test]
+    fn rejects_bad_syntax() {
+        assert!(parse(lex("function f( {").unwrap()).is_err());
+        assert!(parse(lex("function f() { let = 3; }").unwrap()).is_err());
+        assert!(parse(lex("function f() { 1 + ; }").unwrap()).is_err());
+        assert!(parse(lex("notafunction").unwrap()).is_err());
+    }
+
+    #[test]
+    fn object_and_array_literals() {
+        let p = parse_src(r#"function f() { return { a: 1, "b c": [1, 2, {}] }; }"#);
+        let Stmt::Return(Some(Expr::Object(fields))) = &p.functions[0].body[0] else { panic!() };
+        assert_eq!(fields.len(), 2);
+    }
+}

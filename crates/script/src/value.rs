@@ -1,0 +1,150 @@
+//! Runtime values: the JSON data model plus first-class functions.
+
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// A CScript runtime value. Objects use `BTreeMap` so serialization is
+//  deterministic (governance proposals are hashed and signed).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// Booleans.
+    Bool(bool),
+    /// Numbers (f64, like JavaScript).
+    Num(f64),
+    /// Strings.
+    Str(String),
+    /// Arrays.
+    Arr(Rc<Vec<Value>>),
+    /// Objects with string keys.
+    Obj(Rc<BTreeMap<String, Value>>),
+}
+
+impl Value {
+    /// Builds a string value.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Builds an array value.
+    pub fn arr(items: Vec<Value>) -> Value {
+        Value::Arr(Rc::new(items))
+    }
+
+    /// Builds an object value.
+    pub fn obj(entries: impl IntoIterator<Item = (String, Value)>) -> Value {
+        Value::Obj(Rc::new(entries.into_iter().collect()))
+    }
+
+    /// JavaScript-style truthiness.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Null => false,
+            Value::Bool(b) => *b,
+            Value::Num(n) => *n != 0.0 && !n.is_nan(),
+            Value::Str(s) => !s.is_empty(),
+            Value::Arr(_) | Value::Obj(_) => true,
+        }
+    }
+
+    /// Type name for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Arr(_) => "array",
+            Value::Obj(_) => "object",
+        }
+    }
+
+    /// Extracts a number, if this is one.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Extracts a string slice, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Extracts the array contents, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Extracts the object map, if this is an object.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Obj(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_obj()?.get(key)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Value {
+        Value::Num(n)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::Str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Null.truthy());
+        assert!(!Value::Bool(false).truthy());
+        assert!(Value::Bool(true).truthy());
+        assert!(!Value::Num(0.0).truthy());
+        assert!(Value::Num(1.5).truthy());
+        assert!(!Value::str("").truthy());
+        assert!(Value::str("x").truthy());
+        assert!(Value::arr(vec![]).truthy());
+    }
+
+    #[test]
+    fn accessors() {
+        let o = Value::obj([("k".to_string(), Value::Num(1.0))]);
+        assert_eq!(o.get("k"), Some(&Value::Num(1.0)));
+        assert_eq!(o.get("missing"), None);
+        assert_eq!(Value::Num(2.0).as_num(), Some(2.0));
+        assert_eq!(Value::str("s").as_str(), Some("s"));
+        assert!(Value::Null.as_obj().is_none());
+    }
+}

@@ -1,0 +1,321 @@
+//! End-to-end service tests: application execution, replication, the
+//! read-only fast path, forwarding & session consistency, script apps and
+//! live code updates, failure handling.
+
+use ccf_core::app::{AppResult, Application, EndpointDef};
+use ccf_core::prelude::*;
+use ccf_core::service::{ServiceCluster, ServiceOpts};
+use std::sync::Arc;
+
+fn logging_app() -> Application {
+    Application::new("logging v1")
+        .endpoint(EndpointDef::write("POST", "/log", |ctx| {
+            let (id, msg) = ctx.body_kv()?;
+            ctx.put_private("msgs", id.as_bytes(), msg.as_bytes());
+            AppResult::ok(b"stored".to_vec())
+        }))
+        .endpoint(EndpointDef::read("GET", "/log", |ctx| {
+            let id = ctx.query("id")?;
+            match ctx.get_private("msgs", id.as_bytes()) {
+                Some(v) => AppResult::ok(v),
+                None => AppResult::not_found("no such message"),
+            }
+        }))
+        .endpoint(EndpointDef::write("POST", "/log_public", |ctx| {
+            let (id, msg) = ctx.body_kv()?;
+            ctx.put_public("msgs", id.as_bytes(), msg.as_bytes());
+            AppResult::ok(b"stored".to_vec())
+        }))
+}
+
+fn start_open(seed: u64, nodes: usize) -> ServiceCluster {
+    let mut service = ServiceCluster::start(
+        ServiceOpts { nodes, members: 3, seed, ..ServiceOpts::default() },
+        Arc::new(logging_app()),
+    );
+    service.open_service();
+    service
+}
+
+#[test]
+fn write_then_read_across_all_nodes() {
+    let mut service = start_open(10, 3);
+    let resp = service.user_request(0, "POST", "/log", b"42=hello world");
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    let txid = resp.txid.unwrap();
+    service.run_until_committed(txid);
+    // Reads are served by EVERY node (including backups), §3.4 / §6.3.
+    for i in 0..3 {
+        let resp = service.user_request(i, "GET", "/log?id=42", b"");
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.text(), "hello world");
+        // Read responses carry the last-applied txid, not a new one.
+        assert!(resp.txid.is_some());
+    }
+    // Missing key → 404 with app message.
+    let resp = service.user_request(1, "GET", "/log?id=999", b"");
+    assert_eq!(resp.status, 404);
+}
+
+#[test]
+fn service_not_open_rejects_users() {
+    let mut service = ServiceCluster::start(
+        ServiceOpts { nodes: 1, members: 1, seed: 11, ..ServiceOpts::default() },
+        Arc::new(logging_app()),
+    );
+    let resp = service.user_request(0, "POST", "/log", b"1=x");
+    assert_eq!(resp.status, 503);
+    service.open_service();
+    let resp = service.user_request(0, "POST", "/log", b"1=x");
+    assert_eq!(resp.status, 200);
+}
+
+#[test]
+fn unknown_users_rejected() {
+    let mut service = start_open(12, 1);
+    let resp = service.user_request_as("mallory", 0, "POST", "/log", b"1=x");
+    assert_eq!(resp.status, 403);
+    let resp = service.user_request_as("user1", 0, "POST", "/log", b"1=x");
+    assert_eq!(resp.status, 200);
+}
+
+#[test]
+fn writes_forward_to_primary_and_sessions_stick() {
+    let mut service = start_open(13, 3);
+    let primary = service.primary().unwrap();
+    let backup_idx = service.nodes.keys().position(|id| *id != primary).unwrap();
+    let session = service.open_session(backup_idx);
+    // A write through a backup is forwarded (§4.3).
+    let resp = service.session_request(session, "POST", "/log", b"7=via backup");
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    let txid = resp.txid.unwrap();
+    service.run_until_committed(txid);
+    // Subsequent reads on the same session follow to the primary.
+    let resp = service.session_request(session, "GET", "/log?id=7", b"");
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.text(), "via backup");
+}
+
+#[test]
+fn session_terminates_on_primary_change() {
+    let mut service = start_open(14, 3);
+    let session = service.open_session(0);
+    let resp = service.session_request(session, "POST", "/log", b"1=x");
+    assert_eq!(resp.status, 200);
+    let old_primary = service.primary().unwrap();
+    service.crash(&old_primary);
+    assert!(service.run_until(30_000, |c| {
+        c.primary().map_or(false, |p| p != old_primary)
+    }));
+    // The pinned session must terminate, not silently switch (§4.3).
+    let resp = service.session_request(session, "GET", "/log?id=1", b"");
+    assert_eq!(resp.status, 503);
+    // A fresh session works against the new primary.
+    let resp = service.user_request(0, "POST", "/log", b"2=y");
+    assert_eq!(resp.status, 200, "{}", resp.text());
+}
+
+#[test]
+fn primary_crash_preserves_committed_writes() {
+    let mut service = start_open(15, 3);
+    let resp = service.user_request(0, "POST", "/log", b"99=durable");
+    let txid = resp.txid.unwrap();
+    service.run_until_committed(txid);
+    let primary = service.primary().unwrap();
+    service.crash(&primary);
+    assert!(service.run_until(30_000, |c| c.primary().map_or(false, |p| p != primary)));
+    for id in service.live_nodes() {
+        assert_eq!(service.nodes[id].tx_status(txid), TxStatus::Committed);
+    }
+    let live = service.live_nodes()[0].clone();
+    let idx = service.nodes.keys().position(|k| *k == live).unwrap();
+    let resp = service.user_request(idx, "GET", "/log?id=99", b"");
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    assert_eq!(resp.text(), "durable");
+}
+
+#[test]
+fn tx_status_endpoint() {
+    let mut service = start_open(16, 3);
+    let resp = service.user_request(0, "POST", "/log", b"5=msg");
+    let txid = resp.txid.unwrap();
+    service.run_until_committed(txid);
+    let resp = service.user_request(
+        0,
+        "GET",
+        &format!("/node/tx?view={}&seqno={}", txid.view, txid.seqno),
+        b"",
+    );
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.text(), "Committed");
+    let resp = service.user_request(0, "GET", "/node/tx?view=99&seqno=99999", b"");
+    assert_eq!(resp.text(), "Unknown");
+}
+
+#[test]
+fn private_maps_are_encrypted_on_the_ledger_public_maps_are_not() {
+    let mut service = start_open(17, 1);
+    let secret_msg = b"attack at dawn (private)";
+    let public_msg = b"published announcement";
+    let _ = service.user_request(0, "POST", "/log", &[b"1=".as_slice(), secret_msg].concat());
+    let r2 =
+        service.user_request(0, "POST", "/log_public", &[b"2=".as_slice(), public_msg].concat());
+    service.run_until_committed(r2.txid.unwrap());
+    // Inspect what the HOST persists (outside the trust boundary).
+    let node = service.nodes.values().next().unwrap();
+    let blobs = node.persisted_ledger();
+    let all: Vec<u8> = blobs.concat();
+    let contains = |needle: &[u8]| all.windows(needle.len()).any(|w| w == needle);
+    assert!(
+        !contains(secret_msg),
+        "private payload leaked to host storage in plaintext"
+    );
+    assert!(contains(public_msg), "public map update should be in plaintext (§6.1 audit)");
+}
+
+#[test]
+fn script_application_runs_and_live_updates() {
+    // Install a script app by governance (set_js_app), then update it
+    // live (§5, §6.4 "live code updates").
+    let mut service = start_open(18, 3);
+    let state = service.propose_and_accept(Proposal::single(
+        "set_js_app",
+        Value::obj([(
+            "app".to_string(),
+            Value::str(ccf_core::app::logging_script_app()),
+        )]),
+    ));
+    assert_eq!(state, ProposalState::Accepted);
+    service.run_for(300);
+    let resp = service.user_request(0, "POST", "/log", b"10=native still wins");
+    assert_eq!(resp.status, 200);
+    // Install a v2 script with a new endpoint, live.
+    let v2 = r#"
+        function endpoints() {
+            return [{ method: "GET", path: "/version", func: "version", read_only: true }];
+        }
+        function version(caller, body, params) { return "v2"; }
+    "#;
+    let state = service.propose_and_accept(Proposal::single(
+        "set_js_app",
+        Value::obj([("app".to_string(), Value::str(v2))]),
+    ));
+    assert_eq!(state, ProposalState::Accepted);
+    service.run_for(300);
+    let resp = service.user_request(0, "GET", "/version", b"");
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    assert_eq!(resp.text(), "v2");
+}
+
+#[test]
+fn occ_increments_are_applied_exactly_once() {
+    // An endpoint that read-modify-writes a single hot key: conflicting
+    // interleavings must retry and never lose updates (§6.4: executed
+    // multiple times, applied exactly once).
+    let counter_app = Application::new("counter v1")
+        .endpoint(EndpointDef::write("POST", "/incr", |ctx| {
+            let current = ctx
+                .get_private("counters", b"hits")
+                .map(|v| String::from_utf8_lossy(&v).parse::<u64>().unwrap_or(0))
+                .unwrap_or(0);
+            ctx.put_private("counters", b"hits", (current + 1).to_string().as_bytes());
+            AppResult::ok((current + 1).to_string().into_bytes())
+        }))
+        .endpoint(EndpointDef::read("GET", "/count", |ctx| {
+            AppResult::ok(ctx.get_private("counters", b"hits").unwrap_or_else(|| b"0".to_vec()))
+        }));
+    let mut service = ServiceCluster::start(
+        ServiceOpts { nodes: 1, members: 1, seed: 19, ..ServiceOpts::default() },
+        Arc::new(counter_app),
+    );
+    service.open_service();
+    for _ in 0..20 {
+        let resp = service.user_request(0, "POST", "/incr", b"");
+        assert_eq!(resp.status, 200);
+    }
+    let resp = service.user_request(0, "GET", "/count", b"");
+    assert_eq!(resp.text(), "20");
+}
+
+#[test]
+fn endpoint_auth_policies() {
+    let app = Application::new("authz v1")
+        .endpoint(
+            EndpointDef::read("GET", "/public_info", |_| AppResult::ok(b"anyone".to_vec()))
+                .with_auth(ccf_core::app::AuthPolicy::NoAuth),
+        )
+        .endpoint(EndpointDef::read("GET", "/user_only", |_| AppResult::ok(b"user".to_vec())));
+    let mut service = ServiceCluster::start(
+        ServiceOpts { nodes: 1, members: 1, seed: 20, ..ServiceOpts::default() },
+        Arc::new(app),
+    );
+    service.open_service();
+    let node = service.nodes.values().next().unwrap().clone();
+    let anon =
+        ccf_core::app::Request::new("GET", "/public_info", ccf_core::app::Caller::Anonymous, b"");
+    assert_eq!(node.handle_request(&anon).status, 200);
+    let anon =
+        ccf_core::app::Request::new("GET", "/user_only", ccf_core::app::Caller::Anonymous, b"");
+    assert_eq!(node.handle_request(&anon).status, 403);
+}
+
+#[test]
+fn read_only_endpoint_writing_is_an_error() {
+    let bad_app = Application::new("bad v1").endpoint(EndpointDef::read("GET", "/oops", |ctx| {
+        ctx.put_private("m", b"k", b"v"); // read-only endpoint writing!
+        AppResult::ok(vec![])
+    }));
+    let mut service = ServiceCluster::start(
+        ServiceOpts { nodes: 1, members: 1, seed: 21, ..ServiceOpts::default() },
+        Arc::new(bad_app),
+    );
+    service.open_service();
+    let resp = service.user_request(0, "GET", "/oops", b"");
+    assert_eq!(resp.status, 500);
+}
+
+#[test]
+fn app_cannot_write_reserved_maps() {
+    let evil_app =
+        Application::new("evil v1").endpoint(EndpointDef::write("POST", "/evil", |ctx| {
+            ctx.tx.put(
+                &MapName::new("public:ccf.gov.members.certs"),
+                b"mallory",
+                b"fake-cert",
+            );
+            AppResult::ok(vec![])
+        }));
+    let mut service = ServiceCluster::start(
+        ServiceOpts { nodes: 1, members: 1, seed: 22, ..ServiceOpts::default() },
+        Arc::new(evil_app),
+    );
+    service.open_service();
+    let resp = service.user_request(0, "POST", "/evil", b"");
+    assert_eq!(resp.status, 403, "{}", resp.text());
+}
+
+#[test]
+fn historical_queries_and_index() {
+    let mut service = start_open(23, 1);
+    let node = service.nodes.values().next().unwrap().clone();
+    node.register_key_index("msgs");
+    let mut txids = Vec::new();
+    for i in 0..5 {
+        let resp =
+            service.user_request(0, "POST", "/log", format!("k{}={}", i % 2, i).as_bytes());
+        txids.push(resp.txid.unwrap());
+    }
+    service.run_until_committed(*txids.last().unwrap());
+    node.with_indexer(|idx| {
+        assert!(idx.processed_upto() >= txids.last().unwrap().seqno);
+    });
+    // Historical range query returns verified, decrypted write sets.
+    let from = txids[0].seqno;
+    let to = txids[4].seqno;
+    let hist = node.historical_writes(from, to).unwrap();
+    assert_eq!(hist.len(), (to - from + 1) as usize);
+    assert!(hist.iter().any(|(t, _)| *t == txids[2]));
+    // Out-of-range queries are rejected.
+    assert!(node.historical_writes(0, 1).is_err());
+    assert!(node.historical_writes(1, 99999).is_err());
+}
