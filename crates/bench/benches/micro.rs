@@ -27,6 +27,28 @@ fn bench_crypto(c: &mut Criterion) {
     g.bench_function("ed25519_verify", |b| {
         b.iter(|| public.verify(black_box(msg), black_box(&sig)).unwrap())
     });
+    // The seed's double-and-add verification pipeline, kept as a frozen
+    // baseline (and equivalence oracle) in `ed25519::reference`.
+    g.bench_function("ed25519_verify_seed_baseline", |b| {
+        b.iter(|| {
+            ccf_crypto::ed25519::reference::verify(black_box(&public), black_box(msg), black_box(&sig))
+                .unwrap()
+        })
+    });
+    // Batched verification at the sizes a consensus round sees.
+    for n in [1usize, 16, 64] {
+        let keys: Vec<SigningKey> =
+            (0..n).map(|i| SigningKey::from_seed([i as u8 + 1; 32])).collect();
+        let msgs: Vec<Vec<u8>> = (0..n).map(|i| format!("request {i}").into_bytes()).collect();
+        let sigs: Vec<ccf_crypto::Signature> =
+            keys.iter().zip(&msgs).map(|(k, m)| k.sign(m)).collect();
+        let vks: Vec<ccf_crypto::VerifyingKey> = keys.iter().map(|k| k.verifying_key()).collect();
+        let triples: Vec<(&[u8], &ccf_crypto::Signature, &ccf_crypto::VerifyingKey)> =
+            msgs.iter().zip(&sigs).zip(&vks).map(|((m, s), v)| (m.as_slice(), s, v)).collect();
+        g.bench_function(&format!("ed25519_verify_batch_{n}"), |b| {
+            b.iter(|| ccf_crypto::verify_batch(black_box(&triples)).unwrap())
+        });
+    }
     let gcm = AesGcm256::new(&[9u8; 32]);
     let payload = vec![0x5au8; 256];
     g.bench_function("aes256gcm_seal_256B", |b| {
@@ -60,10 +82,28 @@ fn bench_merkle(c: &mut Criterion) {
             BatchSize::LargeInput,
         )
     });
+    g.bench_function("append_batch_100_then_root", |b| {
+        let leaves: Vec<[u8; 8]> = (0..100u64).map(|i| i.to_le_bytes()).collect();
+        b.iter_batched(
+            || {
+                let mut t = MerkleTree::new();
+                for i in 0..10_000u64 {
+                    t.append(&i.to_le_bytes());
+                }
+                t
+            },
+            |mut t| {
+                t.append_batch(leaves.iter().map(|l| l.as_slice()));
+                black_box(t.root())
+            },
+            BatchSize::LargeInput,
+        )
+    });
     let mut tree = MerkleTree::new();
     for i in 0..10_000u64 {
         tree.append(&i.to_le_bytes());
     }
+    g.bench_function("root_cached", |b| b.iter(|| black_box(tree.root())));
     g.bench_function("prove_in_10k_tree", |b| b.iter(|| tree.prove(black_box(5_000)).unwrap()));
     let proof = tree.prove(5000).unwrap();
     let root = tree.root();

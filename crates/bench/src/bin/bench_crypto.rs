@@ -1,0 +1,122 @@
+//! Fast-path cryptography numbers for EXPERIMENTS.md: the seed
+//! double-and-add verify vs the windowed Strauss–Shamir verify, batched
+//! verification at consensus-round sizes, and amortized Merkle appends.
+//!
+//! Run with: `cargo run --release -p ccf-bench --bin bench_crypto`
+//!
+//! Emits a single-line JSON object to stdout and to `BENCH_crypto.json`
+//! in the current directory. `CCF_BENCH_SAMPLES` overrides the per-metric
+//! sample count (default 30).
+
+use ccf_crypto::{Signature, SigningKey, VerifyingKey};
+use ccf_ledger::MerkleTree;
+use std::time::Instant;
+
+/// Median nanoseconds per call over `samples` timed samples of `iters`
+/// calls each (after one warm-up sample).
+fn median_ns_per_call(samples: usize, iters: u64, mut f: impl FnMut()) -> f64 {
+    for _ in 0..iters {
+        f();
+    }
+    let mut per_call: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_call.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    per_call[per_call.len() / 2]
+}
+
+fn signed_triples(n: usize) -> (Vec<Vec<u8>>, Vec<Signature>, Vec<VerifyingKey>) {
+    let keys: Vec<SigningKey> = (0..n)
+        .map(|i| SigningKey::from_seed(ccf_crypto::sha256(format!("bench-key-{i}").as_bytes())))
+        .collect();
+    let msgs: Vec<Vec<u8>> = (0..n).map(|i| format!("consensus round request {i}").into_bytes()).collect();
+    let sigs: Vec<Signature> = keys.iter().zip(&msgs).map(|(k, m)| k.sign(m)).collect();
+    let vks: Vec<VerifyingKey> = keys.iter().map(|k| k.verifying_key()).collect();
+    (msgs, sigs, vks)
+}
+
+fn main() {
+    let samples: usize = std::env::var("CCF_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30);
+    let mut fields: Vec<(String, f64)> = Vec::new();
+
+    // Single verify: frozen seed pipeline vs the windowed fast path.
+    let key = SigningKey::from_seed([7u8; 32]);
+    let vk = key.verifying_key();
+    let msg = b"merkle root placeholder: 32 bytes of data....";
+    let sig = key.sign(msg);
+    let seed_ns = median_ns_per_call(samples, 50, || {
+        ccf_crypto::ed25519::reference::verify(&vk, msg, &sig).unwrap();
+    });
+    let fast_ns = median_ns_per_call(samples, 50, || {
+        vk.verify(msg, &sig).unwrap();
+    });
+    fields.push(("ed25519_verify_seed_ns".into(), seed_ns));
+    fields.push(("ed25519_verify_fast_ns".into(), fast_ns));
+    fields.push(("ed25519_verify_speedup".into(), seed_ns / fast_ns));
+
+    // Batched verification, reported per signature.
+    for n in [1usize, 16, 64] {
+        let (msgs, sigs, vks) = signed_triples(n);
+        let triples: Vec<(&[u8], &Signature, &VerifyingKey)> =
+            msgs.iter().zip(&sigs).zip(&vks).map(|((m, s), v)| (m.as_slice(), s, v)).collect();
+        let iters = (128 / n).max(2) as u64;
+        let batch_ns = median_ns_per_call(samples, iters, || {
+            ccf_crypto::verify_batch(&triples).unwrap();
+        });
+        fields.push((format!("ed25519_verify_batch_{n}_per_sig_ns"), batch_ns / n as f64));
+    }
+    let batch64_per_sig = fields
+        .iter()
+        .find(|(k, _)| k == "ed25519_verify_batch_64_per_sig_ns")
+        .map(|(_, v)| *v)
+        .unwrap();
+    fields.push(("ed25519_batch64_speedup_vs_fast_single".into(), fast_ns / batch64_per_sig));
+
+    // Merkle: 100 appends + root on a 10k-leaf tree, one by one vs batched.
+    let mut base = MerkleTree::new();
+    for i in 0..10_000u64 {
+        base.append(&i.to_le_bytes());
+    }
+    let leaves: Vec<[u8; 8]> = (0..100u64).map(|i| i.to_le_bytes()).collect();
+    let append_ns = median_ns_per_call(samples, 20, || {
+        let mut t = base.clone();
+        for l in &leaves {
+            t.append(l);
+        }
+        std::hint::black_box(t.root());
+    });
+    let batch_append_ns = median_ns_per_call(samples, 20, || {
+        let mut t = base.clone();
+        t.append_batch(leaves.iter().map(|l| l.as_slice()));
+        std::hint::black_box(t.root());
+    });
+    fields.push(("merkle_append_100_then_root_ns".into(), append_ns));
+    fields.push(("merkle_append_batch_100_then_root_ns".into(), batch_append_ns));
+
+    // Cached root read on an otherwise idle tree.
+    let root_ns = median_ns_per_call(samples, 10_000, || {
+        std::hint::black_box(base.root());
+    });
+    fields.push(("merkle_root_cached_ns".into(), root_ns));
+
+    let json = format!(
+        "{{{}}}",
+        fields
+            .iter()
+            .map(|(k, v)| format!("\"{k}\":{v:.1}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    println!("{json}");
+    std::fs::write("BENCH_crypto.json", format!("{json}\n")).expect("write BENCH_crypto.json");
+    eprintln!("wrote BENCH_crypto.json");
+}

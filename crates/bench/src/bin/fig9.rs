@@ -108,15 +108,13 @@ fn main() {
                 service.crash(&n0);
                 phase = 1;
             }
-            1 => {
+            1 if now >= kill_at + 1000 && service.primary().is_some() => {
                 // Operator detects the failure and prepares n3 from a
                 // snapshot copied off a surviving node; n3 joins (B).
-                if now >= kill_at + 1000 && service.primary().is_some() {
-                    tl.event(now, format!("new primary elected: {}", service.primary().unwrap()));
-                    n3_id = service.join_pending("n3", Some(&reader_node));
-                    tl.event(service.now(), "B: n3 joined (attestation verified, Pending)");
-                    phase = 2;
-                }
+                tl.event(now, format!("new primary elected: {}", service.primary().unwrap()));
+                n3_id = service.join_pending("n3", Some(&reader_node));
+                tl.event(service.now(), "B: n3 joined (attestation verified, Pending)");
+                phase = 2;
             }
             2 => {
                 // (C) m0 proposes: trust n3, remove n0.
@@ -140,18 +138,16 @@ fn main() {
                 tl.event(service.now(), format!("D: ballots submitted, proposal {state:?}"));
                 phase = 4;
             }
-            4 => {
+            4 if !n3_id.is_empty()
+                && service.nodes[&n3_id].commit_seqno() > 0
+                && service.nodes[&n3_id].role() != ccf_consensus::replica::Role::Pending =>
+            {
                 // (E) reconfiguration completes: n3 trusted & caught up.
-                if !n3_id.is_empty()
-                    && service.nodes[&n3_id].commit_seqno() > 0
-                    && service.nodes[&n3_id].role() != ccf_consensus::replica::Role::Pending
-                {
-                    tl.event(
-                        service.now(),
-                        "E: reconfiguration complete — fault tolerance restored",
-                    );
-                    phase = 5;
-                }
+                tl.event(
+                    service.now(),
+                    "E: reconfiguration complete — fault tolerance restored",
+                );
+                phase = 5;
             }
             _ => {}
         }

@@ -49,7 +49,7 @@ fn main() {
     for (candidate, cand_len) in lengths {
         let mut cluster = Cluster::new(5, cfg(), NetConfig::default(), 777);
         for (id, len) in lengths {
-            let r = cluster.replicas.get_mut(&id.to_string()).unwrap();
+            let r = cluster.replicas.get_mut(*id).unwrap();
             r.receive(
                 &"n2".to_string(),
                 Message::AppendEntries(AppendEntries {
@@ -70,7 +70,7 @@ fn main() {
                 votes += 1;
                 continue;
             }
-            let v = cluster.replicas.get_mut(&voter.to_string()).unwrap();
+            let v = cluster.replicas.get_mut(*voter).unwrap();
             v.receive(
                 &candidate.to_string(),
                 Message::RequestVote(RequestVote {

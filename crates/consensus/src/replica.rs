@@ -605,7 +605,7 @@ impl<F: SignatureFactory> Replica<F> {
             });
         }
         let view = entry.entry.txid.view;
-        if self.view_history.last().map_or(true, |&(v, _)| v < view) {
+        if self.view_history.last().is_none_or(|&(v, _)| v < view) {
             self.view_history.push((view, entry.entry.txid.seqno));
         }
         self.ledger.push(entry.clone());
@@ -757,7 +757,7 @@ impl<F: SignatureFactory> Replica<F> {
             .is_some_and(|c| c.nodes.contains(&self.id));
         if was_in_current
             && !in_current
-            && self.active_configs.first().map_or(false, |c| c.seqno <= seqno)
+            && self.active_configs.first().is_some_and(|c| c.seqno <= seqno)
         {
             self.events.push(Event::RetirementCommitted);
             if self.role == Role::Primary {
@@ -1005,7 +1005,7 @@ impl<F: SignatureFactory> Replica<F> {
             .is_some_and(|c| c.nodes.contains(&self.id));
         if was_in_current
             && !in_current
-            && self.active_configs.first().map_or(false, |c| c.seqno <= seqno)
+            && self.active_configs.first().is_some_and(|c| c.seqno <= seqno)
         {
             self.events.push(Event::RetirementCommitted);
         }
@@ -1047,7 +1047,7 @@ impl<F: SignatureFactory> Replica<F> {
                 && m.last_signature.seqno >= self.last_sig.seqno);
         let granted = m.view >= self.view
             && up_to_date
-            && self.voted_for.as_ref().map_or(true, |v| v == &m.candidate);
+            && self.voted_for.as_ref().is_none_or(|v| v == &m.candidate);
         if granted {
             self.voted_for = Some(m.candidate.clone());
             self.reset_election_timer();

@@ -201,6 +201,9 @@ fn write_response(
     stream.flush()
 }
 
+/// Status, headers, and body of a raw HTTP response.
+pub type RawHttpResponse = (u16, Vec<(String, String)>, Vec<u8>);
+
 /// A tiny HTTP client for tests and examples (method, path, headers,
 /// body) → (status, headers, body).
 pub fn http_request(
@@ -209,7 +212,7 @@ pub fn http_request(
     path: &str,
     headers: &[(&str, &str)],
     body: &[u8],
-) -> std::io::Result<(u16, Vec<(String, String)>, Vec<u8>)> {
+) -> std::io::Result<RawHttpResponse> {
     let mut stream = TcpStream::connect(addr)?;
     let mut req = format!("{method} {path} HTTP/1.1\r\nhost: ccf\r\ncontent-length: {}\r\nconnection: close\r\n", body.len());
     for (k, v) in headers {

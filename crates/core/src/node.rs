@@ -129,6 +129,13 @@ struct NodeInner {
     handled_rekey: Option<Vec<u8>>,
     /// Monotonic count of primary changes (terminates forwarded sessions).
     view_epoch: u64,
+    /// Signed user requests queued for the next tick; drained as one
+    /// batch so their signatures verify together.
+    signed_request_queue: Vec<(u64, SignedRequest)>,
+    /// Responses for drained queued requests, by ticket.
+    signed_request_responses: BTreeMap<u64, Response>,
+    /// Next queued-request ticket.
+    next_signed_ticket: u64,
 }
 
 /// A CCF node.
@@ -185,6 +192,9 @@ impl CcfNode {
                 retired: false,
                 handled_rekey: None,
                 view_epoch: 0,
+                signed_request_queue: Vec::new(),
+                signed_request_responses: BTreeMap::new(),
+                next_signed_ticket: 0,
             }),
             last_applied_view: std::sync::atomic::AtomicU64::new(0),
             last_applied_seqno: std::sync::atomic::AtomicU64::new(0),
@@ -236,6 +246,9 @@ impl CcfNode {
                 retired: false,
                 handled_rekey: None,
                 view_epoch: 0,
+                signed_request_queue: Vec::new(),
+                signed_request_responses: BTreeMap::new(),
+                next_signed_ticket: 0,
             }),
             last_applied_view: std::sync::atomic::AtomicU64::new(0),
             last_applied_seqno: std::sync::atomic::AtomicU64::new(0),
@@ -794,8 +807,11 @@ impl CcfNode {
     // Time & network plumbing (driven by the harness / node thread)
     // ------------------------------------------------------------------
 
-    /// Advances consensus time; returns outbound messages.
+    /// Advances consensus time; returns outbound messages. Signed user
+    /// requests queued since the last tick are drained first, as one
+    /// batch-verified round.
     pub fn tick(&self, now_ms: u64) -> Vec<(NodeId, Message)> {
+        self.drain_signed_requests();
         let mut inner = self.inner.lock();
         inner.replica.tick(now_ms);
         self.handle_events(&mut inner);
@@ -1344,6 +1360,76 @@ impl CcfNode {
         if envelope.verify().is_err() {
             return Response::error(401, "invalid request signature");
         }
+        self.dispatch_signed_user_request(envelope)
+    }
+
+    /// Handles a batch of signed user requests in one call. All envelope
+    /// signatures are checked with a single batched verification
+    /// ([`ccf_crypto::verify_batch`] — one shared doubling chain for the
+    /// whole round); if the batch rejects, each envelope is re-verified
+    /// individually so only the offending requests get a 401 and the rest
+    /// proceed normally.
+    pub fn handle_signed_user_requests(&self, envelopes: &[SignedRequest]) -> Vec<Response> {
+        let messages: Vec<Vec<u8>> = envelopes.iter().map(|e| e.signed_bytes()).collect();
+        let triples: Vec<(&[u8], &ccf_crypto::Signature, &VerifyingKey)> = envelopes
+            .iter()
+            .zip(&messages)
+            .map(|(e, m)| (m.as_slice(), &e.signature, &e.signer))
+            .collect();
+        let all_valid = ccf_crypto::verify_batch(&triples).is_ok();
+        envelopes
+            .iter()
+            .map(|envelope| {
+                if all_valid || envelope.verify().is_ok() {
+                    self.dispatch_signed_user_request(envelope)
+                } else {
+                    Response::error(401, "invalid request signature")
+                }
+            })
+            .collect()
+    }
+
+    /// Queues a signed user request for the next consensus tick. All
+    /// requests queued within one round are signature-checked together
+    /// through [`CcfNode::handle_signed_user_requests`]. Returns a ticket
+    /// to redeem with [`CcfNode::take_signed_response`] once a tick has
+    /// drained the queue.
+    pub fn enqueue_signed_user_request(&self, envelope: SignedRequest) -> u64 {
+        let mut inner = self.inner.lock();
+        let ticket = inner.next_signed_ticket;
+        inner.next_signed_ticket += 1;
+        inner.signed_request_queue.push((ticket, envelope));
+        ticket
+    }
+
+    /// Takes the response for a queued envelope, if its round has run.
+    pub fn take_signed_response(&self, ticket: u64) -> Option<Response> {
+        self.inner.lock().signed_request_responses.remove(&ticket)
+    }
+
+    /// Drains the queued signed requests as one batch-verified round.
+    /// Runs lock-free with respect to `inner` during execution: requests
+    /// are moved out under the lock, handled, and the responses filed
+    /// under the lock again (request dispatch itself takes `inner`).
+    fn drain_signed_requests(&self) {
+        let batch = {
+            let mut inner = self.inner.lock();
+            if inner.signed_request_queue.is_empty() {
+                return;
+            }
+            std::mem::take(&mut inner.signed_request_queue)
+        };
+        let (tickets, envelopes): (Vec<u64>, Vec<SignedRequest>) = batch.into_iter().unzip();
+        let responses = self.handle_signed_user_requests(&envelopes);
+        let mut inner = self.inner.lock();
+        for (ticket, resp) in tickets.into_iter().zip(responses) {
+            inner.signed_request_responses.insert(ticket, resp);
+        }
+    }
+
+    /// Post-verification half of signed user request handling: resolve the
+    /// purpose and signer, then execute as an authenticated user.
+    fn dispatch_signed_user_request(&self, envelope: &SignedRequest) -> Response {
         let Some(rest) = envelope.purpose.strip_prefix("user/") else {
             return Response::error(400, "purpose must be user/<METHOD> <path>");
         };

@@ -150,7 +150,7 @@ impl RecoveryCoordinator {
             };
             store.apply_at(&ws, entry.txid.seqno);
             merkle.append(&entry.leaf_bytes());
-            if view_history.last().map_or(true, |&(v, _)| v < entry.txid.view) {
+            if view_history.last().is_none_or(|&(v, _)| v < entry.txid.view) {
                 view_history.push((entry.txid.view, entry.txid.seqno));
             }
             if entry.kind == EntryKind::Signature {
@@ -175,7 +175,7 @@ impl RecoveryCoordinator {
             };
             store2.apply_at(&ws, entry.txid.seqno);
             merkle2.append(&entry.leaf_bytes());
-            if view_history2.last().map_or(true, |&(v, _)| v < entry.txid.view) {
+            if view_history2.last().is_none_or(|&(v, _)| v < entry.txid.view) {
                 view_history2.push((entry.txid.view, entry.txid.seqno));
             }
         }

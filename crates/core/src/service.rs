@@ -467,6 +467,125 @@ impl ServiceCluster {
         resp
     }
 
+    /// Registers `user` with a fresh signing key via governance (the cert
+    /// stored in `users.certs` is the hex public key), enabling *signed*
+    /// user requests from that key. Returns the user's signing key.
+    pub fn register_user_key(&mut self, user: &str) -> SigningKey {
+        let key = SigningKey::from_seed(sha256(format!("user-key-{user}").as_bytes()));
+        let cert = ccf_crypto::hex::to_hex(&key.verifying_key().0);
+        let state = self.propose_and_accept(ccf_governance::Proposal::single(
+            "set_user",
+            ccf_script::Value::obj([
+                ("user_id".to_string(), ccf_script::Value::str(user)),
+                ("cert".to_string(), ccf_script::Value::str(&cert)),
+            ]),
+        ));
+        assert_eq!(state, ProposalState::Accepted, "set_user proposal not accepted");
+        key
+    }
+
+    /// Signs and submits one user request through the queued batch path
+    /// (convenience wrapper over [`ServiceCluster::signed_user_requests`]).
+    pub fn signed_user_request(
+        &mut self,
+        key: &SigningKey,
+        node_idx: usize,
+        method: &str,
+        path: &str,
+        body: &[u8],
+        nonce: u64,
+    ) -> Response {
+        let purpose = format!("user/{method} {path}");
+        let envelope = ccf_governance::SignedRequest::sign(key, &purpose, body, nonce);
+        self.signed_user_requests(node_idx, vec![envelope]).remove(0)
+    }
+
+    /// Submits pre-signed envelopes to node `node_idx` through the queued
+    /// path: all are enqueued before any virtual time passes, so the next
+    /// tick verifies their signatures as a single batch. Drives the
+    /// cluster until every ticket resolves; follows 307 forwarding to the
+    /// primary (re-queued there, again as one batch).
+    pub fn signed_user_requests(
+        &mut self,
+        node_idx: usize,
+        envelopes: Vec<ccf_governance::SignedRequest>,
+    ) -> Vec<Response> {
+        let live: Vec<NodeId> = self
+            .nodes
+            .keys()
+            .filter(|id| !self.crashed.contains(*id))
+            .cloned()
+            .collect();
+        let node_id = live[node_idx % live.len()].clone();
+        let mut responses = self.drive_signed_batch(&node_id, envelopes);
+        // Follow forwarding: a backup answers 307 with a leader hint.
+        let hint = responses
+            .iter()
+            .find(|(_, r, _)| r.status == 307)
+            .map(|(_, r, _)| String::from_utf8_lossy(&r.body).to_string());
+        if let Some(mut hint) = hint {
+            if hint.is_empty() || self.crashed.contains(&hint) || !self.nodes.contains_key(&hint) {
+                hint = match self.primary() {
+                    Some(p) => p,
+                    None => {
+                        return responses.into_iter().map(|(_, r, _)| r).collect();
+                    }
+                };
+            }
+            let redo: Vec<ccf_governance::SignedRequest> = responses
+                .iter()
+                .filter(|(_, r, _)| r.status == 307)
+                .map(|(_, _, e)| e.clone())
+                .collect();
+            let redone = self.drive_signed_batch(&hint, redo);
+            let mut redone_iter = redone.into_iter();
+            for slot in responses.iter_mut() {
+                if slot.1.status == 307 {
+                    let (_, r, e) = redone_iter.next().expect("redone response");
+                    slot.1 = r;
+                    slot.2 = e;
+                }
+            }
+        }
+        responses.into_iter().map(|(_, r, _)| r).collect()
+    }
+
+    /// Enqueues `envelopes` at `node_id` and steps virtual time until all
+    /// tickets have responses. Returns (index, response, envelope) so the
+    /// caller can retry forwarded entries.
+    fn drive_signed_batch(
+        &mut self,
+        node_id: &NodeId,
+        envelopes: Vec<ccf_governance::SignedRequest>,
+    ) -> Vec<(usize, Response, ccf_governance::SignedRequest)> {
+        let node = self.nodes[node_id].clone();
+        let tickets: Vec<u64> = envelopes
+            .iter()
+            .map(|e| node.enqueue_signed_user_request(e.clone()))
+            .collect();
+        let mut out: Vec<Option<Response>> = vec![None; tickets.len()];
+        for _ in 0..10_000 {
+            if out.iter().all(Option::is_some) {
+                break;
+            }
+            for (slot, ticket) in out.iter_mut().zip(&tickets) {
+                if slot.is_none() {
+                    *slot = node.take_signed_response(*ticket);
+                }
+            }
+            if out.iter().all(Option::is_some) {
+                break;
+            }
+            self.step();
+        }
+        envelopes
+            .into_iter()
+            .enumerate()
+            .zip(out)
+            .map(|((i, e), r)| (i, r.expect("queued signed request never answered"), e))
+            .collect()
+    }
+
     /// A request as a specific user id.
     pub fn user_request_as(
         &mut self,

@@ -32,6 +32,7 @@ struct Tables {
     inv_sbox: [u8; 256],
 }
 
+#[allow(clippy::needless_range_loop)] // log/antilog tables index by the loop value
 fn tables() -> &'static Tables {
     static T: OnceLock<Tables> = OnceLock::new();
     T.get_or_init(|| {

@@ -47,18 +47,129 @@ pub fn base_point() -> &'static Point {
     })
 }
 
-/// Precomputed multiples B, 2B, 4B, ..., 2^255·B for fast base-point
-/// scalar multiplication (signing-path hot loop).
-fn base_table() -> &'static Vec<Point> {
-    static T: OnceLock<Vec<Point>> = OnceLock::new();
-    T.get_or_init(|| {
-        let mut v = Vec::with_capacity(256);
-        let mut p = *base_point();
-        for _ in 0..256 {
-            v.push(p);
-            p = p.double();
+/// Cached form of a point for repeated additions: (Y+X, Y−X, Z, 2d·T).
+/// Feeding an addition from this form saves the per-add recomputation of
+/// Y±X and 2d·T, cutting the unified add from 10 field multiplies to 8.
+#[derive(Clone, Copy, Debug)]
+struct Cached {
+    y_plus_x: Fe,
+    y_minus_x: Fe,
+    z: Fe,
+    t2d: Fe,
+}
+
+impl Cached {
+    fn from_point(p: &Point) -> Cached {
+        Cached {
+            y_plus_x: p.y.add(p.x),
+            y_minus_x: p.y.sub(p.x),
+            z: p.z,
+            t2d: p.t.mul(d2()),
         }
-        v
+    }
+
+    /// Negation: swap Y±X and flip 2d·T.
+    fn neg(&self) -> Cached {
+        Cached {
+            y_plus_x: self.y_minus_x,
+            y_minus_x: self.y_plus_x,
+            z: self.z,
+            t2d: self.t2d.neg(),
+        }
+    }
+}
+
+/// Affine Niels form (y+x, y−x, 2d·x·y) with Z = 1 implicit; one multiply
+/// cheaper again than [`Cached`] (7 per add). Only worth precomputing for
+/// long-lived tables since normalizing to Z = 1 costs an inversion —
+/// amortized below via Montgomery batch inversion.
+#[derive(Clone, Copy, Debug)]
+struct AffineNiels {
+    y_plus_x: Fe,
+    y_minus_x: Fe,
+    xy2d: Fe,
+}
+
+impl AffineNiels {
+    fn neg(&self) -> AffineNiels {
+        AffineNiels {
+            y_plus_x: self.y_minus_x,
+            y_minus_x: self.y_plus_x,
+            xy2d: self.xy2d.neg(),
+        }
+    }
+}
+
+/// Normalizes a batch of points to affine Niels form with a single field
+/// inversion (Montgomery's trick: invert the product of all Z's, then
+/// peel off individual inverses with two multiplies each).
+fn batch_to_affine(points: &[Point]) -> Vec<AffineNiels> {
+    let n = points.len();
+    let mut prefix = Vec::with_capacity(n); // prefix[i] = z_0·…·z_i
+    let mut acc = Fe::ONE;
+    for p in points {
+        acc = acc.mul(p.z);
+        prefix.push(acc);
+    }
+    let mut suffix_inv = acc.invert(); // (z_0·…·z_{n-1})^-1; Z is never 0
+    let mut out = vec![
+        AffineNiels { y_plus_x: Fe::ZERO, y_minus_x: Fe::ZERO, xy2d: Fe::ZERO };
+        n
+    ];
+    for i in (0..n).rev() {
+        let z_inv = if i == 0 { suffix_inv } else { prefix[i - 1].mul(suffix_inv) };
+        suffix_inv = suffix_inv.mul(points[i].z);
+        let x = points[i].x.mul(z_inv);
+        let y = points[i].y.mul(z_inv);
+        out[i] = AffineNiels {
+            y_plus_x: y.add(x),
+            y_minus_x: y.sub(x),
+            xy2d: x.mul(y).mul(d2()),
+        };
+    }
+    out
+}
+
+/// Width-8 wNAF table for the base point: odd multiples B, 3B, …, 127B in
+/// affine Niels form, for the shared-doubling verification kernel.
+fn base_wnaf_table() -> &'static Vec<AffineNiels> {
+    static T: OnceLock<Vec<AffineNiels>> = OnceLock::new();
+    T.get_or_init(|| {
+        let b2 = base_point().double();
+        let c2 = Cached::from_point(&b2);
+        let mut odds = Vec::with_capacity(64);
+        odds.push(*base_point());
+        for j in 1..64 {
+            let prev: Point = odds[j - 1];
+            odds.push(prev.add_cached(&c2));
+        }
+        batch_to_affine(&odds)
+    })
+}
+
+/// Radix-16 fixed-window table for the base point:
+/// `table[i][j] = (j+1)·16^i·B` for i < 64, j < 8. With signed digits in
+/// [-8, 8] this turns `mul_base` into at most 64 table additions and zero
+/// doublings (the doublings are baked into the 16^i rows).
+fn base_radix16_table() -> &'static Vec<[AffineNiels; 8]> {
+    static T: OnceLock<Vec<[AffineNiels; 8]>> = OnceLock::new();
+    T.get_or_init(|| {
+        let mut pts = Vec::with_capacity(64 * 8);
+        let mut row_base = *base_point();
+        for _ in 0..64 {
+            let step = Cached::from_point(&row_base);
+            let mut cur = row_base;
+            for j in 0..8 {
+                pts.push(cur);
+                if j < 7 {
+                    cur = cur.add_cached(&step);
+                }
+            }
+            // cur is now 8·16^i·B, so the next row base is its double.
+            row_base = cur.double();
+        }
+        let affine = batch_to_affine(&pts);
+        affine.chunks_exact(8).map(|c| <[AffineNiels; 8]>::try_from(c).unwrap()).collect()
     })
 }
 
@@ -70,12 +181,14 @@ impl Point {
 
     /// Recovers a point from its y-coordinate and the sign (oddness) of x.
     pub fn from_y(y: Fe, x_odd: bool) -> Option<Point> {
-        // x² = (y² - 1) / (d·y² + 1)
+        // x² = (y² - 1) / (d·y² + 1), solved with a single exponentiation
+        // (Fe::sqrt_ratio) instead of invert-then-sqrt; decompression is a
+        // fixed cost on every signature verification, so halving its
+        // exponentiation count is worth it.
         let yy = y.square();
         let u = yy.sub(Fe::ONE);
         let v = d().mul(yy).add(Fe::ONE);
-        let xx = u.mul(v.invert());
-        let mut x = xx.sqrt()?;
+        let mut x = Fe::sqrt_ratio(u, v)?;
         if x.is_odd() != x_odd {
             x = x.neg();
         }
@@ -97,10 +210,16 @@ impl Point {
 
     /// Unified point addition (complete for a = -1 twisted Edwards).
     pub fn add(&self, q: &Point) -> Point {
-        let a = self.y.sub(self.x).mul(q.y.sub(q.x));
-        let b = self.y.add(self.x).mul(q.y.add(q.x));
-        let c = self.t.mul(d2()).mul(q.t);
-        let dd = self.z.mul(q.z).add(self.z.mul(q.z));
+        self.add_cached(&Cached::from_point(q))
+    }
+
+    /// Addition against a precomputed [`Cached`] operand (8 multiplies).
+    fn add_cached(&self, q: &Cached) -> Point {
+        let a = self.y.sub(self.x).mul(q.y_minus_x);
+        let b = self.y.add(self.x).mul(q.y_plus_x);
+        let c = self.t.mul(q.t2d);
+        let zz = self.z.mul(q.z);
+        let dd = zz.add(zz);
         let e = b.sub(a);
         let f = dd.sub(c);
         let g = dd.add(c);
@@ -108,11 +227,25 @@ impl Point {
         Point { x: e.mul(f), y: g.mul(h), z: f.mul(g), t: e.mul(h) }
     }
 
-    /// Point doubling.
+    /// Addition against an affine Niels operand, Z = 1 (7 multiplies).
+    fn add_affine(&self, q: &AffineNiels) -> Point {
+        let a = self.y.sub(self.x).mul(q.y_minus_x);
+        let b = self.y.add(self.x).mul(q.y_plus_x);
+        let c = self.t.mul(q.xy2d);
+        let dd = self.z.add(self.z);
+        let e = b.sub(a);
+        let f = dd.sub(c);
+        let g = dd.add(c);
+        let h = b.add(a);
+        Point { x: e.mul(f), y: g.mul(h), z: f.mul(g), t: e.mul(h) }
+    }
+
+    /// Point doubling (the Z² is shared; 4 squarings + 4 multiplies).
     pub fn double(&self) -> Point {
         let a = self.x.square();
         let b = self.y.square();
-        let c = self.z.square().add(self.z.square());
+        let zz = self.z.square();
+        let c = zz.add(zz);
         let h = a.add(b);
         let e = h.sub(self.x.add(self.y).square());
         let g = a.sub(b);
@@ -138,13 +271,34 @@ impl Point {
         acc
     }
 
-    /// Fast multiplication of the base point using the precomputed table.
+    /// Fast base-point multiplication: signed radix-16 digits against the
+    /// precomputed `(j+1)·16^i·B` table — at most 64 affine additions and
+    /// no doublings (versus ~127 additions for the former bit-per-entry
+    /// doubling table).
     pub fn mul_base(s: &Scalar) -> Point {
-        let table = base_table();
+        let bytes = s.to_bytes();
+        // Split into 64 nibbles, then carry-adjust to signed digits in
+        // [-8, 8]. Scalars are < L < 2^253, so the top digit absorbs the
+        // final carry without overflow.
+        let mut e = [0i8; 64];
+        for (i, b) in bytes.iter().enumerate() {
+            e[2 * i] = (b & 15) as i8;
+            e[2 * i + 1] = (b >> 4) as i8;
+        }
+        let mut carry = 0i8;
+        for digit in e.iter_mut().take(63) {
+            *digit += carry;
+            carry = (*digit + 8) >> 4;
+            *digit -= carry << 4;
+        }
+        e[63] += carry;
+        let table = base_radix16_table();
         let mut acc = Point::identity();
-        for (i, p) in table.iter().enumerate() {
-            if s.bit(i) == 1 {
-                acc = acc.add(p);
+        for (row, &digit) in table.iter().zip(e.iter()) {
+            if digit != 0 {
+                let entry = row[(digit.unsigned_abs() as usize) - 1];
+                let entry = if digit > 0 { entry } else { entry.neg() };
+                acc = acc.add_affine(&entry);
             }
         }
         acc
@@ -186,6 +340,61 @@ impl Point {
     pub fn is_identity(&self) -> bool {
         self.equals(&Point::identity())
     }
+}
+
+/// Odd multiples P, 3P, 5P, …, 15P in cached form: the per-point table for
+/// width-5 wNAF in the multiscalar kernel.
+fn odd_multiples_cached(p: &Point) -> [Cached; 8] {
+    let step = Cached::from_point(&p.double());
+    let mut pts = [*p; 8];
+    for j in 1..8 {
+        pts[j] = pts[j - 1].add_cached(&step);
+    }
+    pts.map(|q| Cached::from_point(&q))
+}
+
+/// The shared-doubling multiscalar kernel (Strauss–Shamir interleaving):
+/// computes `base·B + Σ sᵢ·Pᵢ` with ONE doubling chain for all scalars.
+/// The base-point term uses width-8 wNAF against the static affine table;
+/// each dynamic point gets a width-5 wNAF and an 8-entry cached table.
+///
+/// Single verification calls this with one pair (`s·B + k·(−A)`); batch
+/// verification with `2n` pairs — the doubling chain, which dominates a
+/// solo multiplication, is then amortized across the whole batch.
+fn ms_mul(base: Option<&Scalar>, pairs: &[(Scalar, Point)]) -> Point {
+    let base_naf = base.map(|s| s.naf(8));
+    let pair_nafs: Vec<[i8; 257]> = pairs.iter().map(|(s, _)| s.naf(5)).collect();
+    let tables: Vec<[Cached; 8]> = pairs.iter().map(|(_, p)| odd_multiples_cached(p)).collect();
+    let top = base_naf
+        .iter()
+        .chain(pair_nafs.iter())
+        .filter_map(|naf| naf.iter().rposition(|&d| d != 0))
+        .max();
+    let Some(top) = top else {
+        return Point::identity(); // all scalars zero
+    };
+    let wnaf_base = base_wnaf_table();
+    let mut acc = Point::identity();
+    for i in (0..=top).rev() {
+        acc = acc.double();
+        if let Some(naf) = &base_naf {
+            let digit = naf[i];
+            if digit != 0 {
+                let entry = wnaf_base[(digit.unsigned_abs() as usize - 1) / 2];
+                let entry = if digit > 0 { entry } else { entry.neg() };
+                acc = acc.add_affine(&entry);
+            }
+        }
+        for (naf, table) in pair_nafs.iter().zip(&tables) {
+            let digit = naf[i];
+            if digit != 0 {
+                let entry = table[(digit.unsigned_abs() as usize - 1) / 2];
+                let entry = if digit > 0 { entry } else { entry.neg() };
+                acc = acc.add_cached(&entry);
+            }
+        }
+    }
+    acc
 }
 
 /// An Ed25519 signature (R || S, 64 bytes).
@@ -305,8 +514,32 @@ impl VerifyingKey {
         self.0
     }
 
-    /// Verifies `sig` over `msg`: checks S·B == R + k·A.
+    /// Verifies `sig` over `msg`: checks S·B == R + k·A, evaluated as
+    /// `S·B − k·A == R` so both scalar multiplications share one doubling
+    /// chain through the wNAF multiscalar kernel.
+    ///
+    /// This path is variable-time in the scalars, which is fine here: S, R
+    /// and k are all public values of a (purported) signature, so timing
+    /// reveals nothing secret. Signing, which handles the private scalar,
+    /// does not use wNAF lookups keyed on secret data beyond what the seed
+    /// implementation already did (see the crate security disclaimer).
     pub fn verify(&self, msg: &[u8], sig: &Signature) -> Result<(), CryptoError> {
+        let (s, r, a, k) = self.parse_for_verify(msg, sig)?;
+        if ms_mul(Some(&s), &[(k, a.neg())]).equals(&r) {
+            Ok(())
+        } else {
+            Err(CryptoError::BadSignature)
+        }
+    }
+
+    /// Shared parsing/validation for single and batch verification: splits
+    /// the signature, enforces canonical S (malleability defence),
+    /// decompresses R and A, and derives the challenge k = H(R ‖ A ‖ M).
+    fn parse_for_verify(
+        &self,
+        msg: &[u8],
+        sig: &Signature,
+    ) -> Result<(Scalar, Point, Point, Scalar), CryptoError> {
         let r_bytes: [u8; 32] = sig.0[..32].try_into().unwrap();
         let s_bytes: [u8; 32] = sig.0[32..].try_into().unwrap();
         let s = Scalar::from_canonical_bytes(&s_bytes).ok_or(CryptoError::BadSignature)?;
@@ -317,8 +550,181 @@ impl VerifyingKey {
         h.update(&self.0);
         h.update(msg);
         let k = Scalar::from_bytes_wide(&h.finalize());
-        let lhs = Point::mul_base(&s);
-        let rhs = r.add(&a.mul(&k));
+        Ok((s, r, a, k))
+    }
+}
+
+/// Batch signature verification with random linear combination: checks
+///
+/// ```text
+/// (Σ zᵢ·sᵢ)·B − Σ zᵢ·Rᵢ − Σ (zᵢ·kᵢ)·Aᵢ == identity
+/// ```
+///
+/// for random 128-bit coefficients zᵢ. Every term of a valid batch is
+/// individually the identity, so a batch of valid signatures always
+/// passes; for a batch containing any invalid signature, the combination
+/// is a non-trivial random linear relation and passes with probability at
+/// most ~2⁻¹²⁸. All 2n+1 scalar multiplications share a single doubling
+/// chain, so per-signature cost drops well below a solo [`VerifyingKey::verify`].
+///
+/// The zᵢ are derived from a ChaCha20 DRBG seeded by hashing the whole
+/// batch transcript — deterministic (reproducible in the simulator, no
+/// environmental randomness) yet unpredictable to a signer, who would
+/// have to find a collision against every coefficient it influences.
+///
+/// On `Err`, callers that need to pinpoint the offending signature(s)
+/// should fall back to per-signature [`VerifyingKey::verify`], which this
+/// batch check exactly refines (it accepts whenever every individual
+/// check accepts).
+pub fn verify_batch(batch: &[(&[u8], &Signature, &VerifyingKey)]) -> Result<(), CryptoError> {
+    if batch.is_empty() {
+        return Ok(());
+    }
+    // Coefficient DRBG: domain-separated hash of the full batch.
+    let mut transcript = crate::sha2::Sha256::new();
+    transcript.update(b"ccf-ed25519-batch-v1");
+    transcript.update(&(batch.len() as u64).to_le_bytes());
+    for (msg, sig, key) in batch {
+        transcript.update(&(msg.len() as u64).to_le_bytes());
+        transcript.update(msg);
+        transcript.update(&sig.0);
+        transcript.update(&key.0);
+    }
+    let mut rng = crate::chacha::ChaChaRng::from_seed(transcript.finalize());
+    let mut b_coef = Scalar::ZERO;
+    let mut pairs = Vec::with_capacity(batch.len() * 2);
+    for (msg, sig, key) in batch {
+        let (s, r, a, k) = key.parse_for_verify(msg, sig)?;
+        let mut z_bytes = [0u8; 16];
+        rng.fill_bytes(&mut z_bytes);
+        z_bytes[0] |= 1; // never zero, so no signature drops out of the sum
+        let z = Scalar([
+            u64::from_le_bytes(z_bytes[..8].try_into().unwrap()),
+            u64::from_le_bytes(z_bytes[8..].try_into().unwrap()),
+            0,
+            0,
+        ]);
+        b_coef = b_coef.add(z.mul(s));
+        pairs.push((z, r.neg()));
+        pairs.push((z.mul(k), a.neg()));
+    }
+    if ms_mul(Some(&b_coef), &pairs).is_identity() {
+        Ok(())
+    } else {
+        Err(CryptoError::BadSignature)
+    }
+}
+
+/// The seed implementation of signature verification, frozen verbatim.
+///
+/// Kept for two jobs: the *baseline* in the micro-benchmarks (so speedups
+/// are measured against what the code actually did before the windowed
+/// kernel landed), and an *independent oracle* for the equivalence
+/// property tests — it shares no scalar-multiplication or decompression
+/// code with the fast path. Field squarings go through `mul`, exactly as
+/// the seed's `Fe::square` did.
+pub mod reference {
+    use super::*;
+
+    fn add_seed(p: &Point, q: &Point) -> Point {
+        let a = p.y.sub(p.x).mul(q.y.sub(q.x));
+        let b = p.y.add(p.x).mul(q.y.add(q.x));
+        let c = p.t.mul(d2()).mul(q.t);
+        let dd = p.z.mul(q.z).add(p.z.mul(q.z));
+        let e = b.sub(a);
+        let f = dd.sub(c);
+        let g = dd.add(c);
+        let h = b.add(a);
+        Point { x: e.mul(f), y: g.mul(h), z: f.mul(g), t: e.mul(h) }
+    }
+
+    fn double_seed(p: &Point) -> Point {
+        let a = p.x.mul(p.x);
+        let b = p.y.mul(p.y);
+        let c = p.z.mul(p.z).add(p.z.mul(p.z));
+        let h = a.add(b);
+        let xy = p.x.add(p.y);
+        let e = h.sub(xy.mul(xy));
+        let g = a.sub(b);
+        let f = c.add(g);
+        Point { x: e.mul(f), y: g.mul(h), z: f.mul(g), t: e.mul(h) }
+    }
+
+    /// Generic double-and-add scalar multiplication (the seed `Point::mul`).
+    pub fn mul_seed(p: &Point, s: &Scalar) -> Point {
+        let mut acc = Point::identity();
+        for i in (0..256).rev() {
+            acc = double_seed(&acc);
+            if s.bit(i) == 1 {
+                acc = add_seed(&acc, p);
+            }
+        }
+        acc
+    }
+
+    /// The seed base-point table: B, 2B, 4B, …, 2^255·B.
+    fn base_doubles_table() -> &'static Vec<Point> {
+        static T: OnceLock<Vec<Point>> = OnceLock::new();
+        T.get_or_init(|| {
+            let mut v = Vec::with_capacity(256);
+            let mut p = *base_point();
+            for _ in 0..256 {
+                v.push(p);
+                p = double_seed(&p);
+            }
+            v
+        })
+    }
+
+    /// The seed `Point::mul_base`: one table addition per set scalar bit.
+    pub fn mul_base_seed(s: &Scalar) -> Point {
+        let mut acc = Point::identity();
+        for (i, p) in base_doubles_table().iter().enumerate() {
+            if s.bit(i) == 1 {
+                acc = add_seed(&acc, p);
+            }
+        }
+        acc
+    }
+
+    /// The seed decompression: invert-then-sqrt (two exponentiations).
+    fn decompress_seed(bytes: &[u8; 32]) -> Result<Point, CryptoError> {
+        let x_odd = bytes[31] & 0x80 != 0;
+        let y = Fe::from_bytes(bytes);
+        let mut canonical = *bytes;
+        canonical[31] &= 0x7f;
+        if y.to_bytes() != canonical {
+            return Err(CryptoError::InvalidPoint);
+        }
+        let yy = y.mul(y);
+        let u = yy.sub(Fe::ONE);
+        let v = d().mul(yy).add(Fe::ONE);
+        let xx = u.mul(v.invert());
+        let mut x = xx.sqrt().ok_or(CryptoError::InvalidPoint)?;
+        if x.is_odd() != x_odd {
+            x = x.neg();
+        }
+        if x.is_zero() && x_odd {
+            return Err(CryptoError::InvalidPoint);
+        }
+        Ok(Point { x, y, z: Fe::ONE, t: x.mul(y) })
+    }
+
+    /// The seed `VerifyingKey::verify`: S·B == R + k·A with independent
+    /// scalar multiplications and the doubling-table base-point path.
+    pub fn verify(key: &VerifyingKey, msg: &[u8], sig: &Signature) -> Result<(), CryptoError> {
+        let r_bytes: [u8; 32] = sig.0[..32].try_into().unwrap();
+        let s_bytes: [u8; 32] = sig.0[32..].try_into().unwrap();
+        let s = Scalar::from_canonical_bytes(&s_bytes).ok_or(CryptoError::BadSignature)?;
+        let r = decompress_seed(&r_bytes).map_err(|_| CryptoError::BadSignature)?;
+        let a = decompress_seed(&key.0).map_err(|_| CryptoError::BadSignature)?;
+        let mut h = Sha512::new();
+        h.update(&r_bytes);
+        h.update(&key.0);
+        h.update(msg);
+        let k = Scalar::from_bytes_wide(&h.finalize());
+        let lhs = mul_base_seed(&s);
+        let rhs = add_seed(&r, &mul_seed(&a, &k));
         if lhs.equals(&rhs) {
             Ok(())
         } else {
@@ -354,6 +760,111 @@ mod tests {
     fn base_table_matches_generic_mul() {
         let s = Scalar::from_bytes_reduced(&[0x42; 32]);
         assert!(Point::mul_base(&s).equals(&base_point().mul(&s)));
+    }
+
+    #[test]
+    fn radix16_mul_base_matches_seed_paths() {
+        let mut rng = ChaChaRng::seed_from_u64(1234);
+        for _ in 0..20 {
+            let mut wide = [0u8; 64];
+            rng.fill_bytes(&mut wide);
+            let s = Scalar::from_bytes_wide(&wide);
+            let fast = Point::mul_base(&s);
+            assert!(fast.equals(&reference::mul_base_seed(&s)));
+            assert!(fast.equals(&reference::mul_seed(base_point(), &s)));
+        }
+        // Edge scalars.
+        assert!(Point::mul_base(&Scalar::ZERO).is_identity());
+        assert!(Point::mul_base(&Scalar::ONE).equals(base_point()));
+    }
+
+    #[test]
+    fn ms_mul_matches_separate_multiplications() {
+        let mut rng = ChaChaRng::seed_from_u64(4321);
+        for n_pairs in 0..4 {
+            let mut wide = [0u8; 64];
+            rng.fill_bytes(&mut wide);
+            let base_s = Scalar::from_bytes_wide(&wide);
+            let mut pairs = Vec::new();
+            let mut expected = reference::mul_base_seed(&base_s);
+            for _ in 0..n_pairs {
+                rng.fill_bytes(&mut wide);
+                let s = Scalar::from_bytes_wide(&wide);
+                rng.fill_bytes(&mut wide);
+                let p = Point::mul_base(&Scalar::from_bytes_wide(&wide));
+                expected = expected.add(&reference::mul_seed(&p, &s));
+                pairs.push((s, p));
+            }
+            assert!(ms_mul(Some(&base_s), &pairs).equals(&expected), "n_pairs={n_pairs}");
+        }
+        // All-zero scalars hit the empty-NAF early return.
+        assert!(ms_mul(Some(&Scalar::ZERO), &[(Scalar::ZERO, *base_point())]).is_identity());
+        assert!(ms_mul(None, &[]).is_identity());
+    }
+
+    #[test]
+    fn fast_verify_matches_reference_verify() {
+        let mut rng = ChaChaRng::seed_from_u64(2024);
+        let key = SigningKey::generate(&mut rng);
+        let pk = key.verifying_key();
+        let msg = b"equivalence of fast and seed verification";
+        let sig = key.sign(msg);
+        assert!(pk.verify(msg, &sig).is_ok());
+        assert!(reference::verify(&pk, msg, &sig).is_ok());
+        // Tampering rejected identically by both paths.
+        for i in [0usize, 17, 32, 63] {
+            let mut bad = sig.0;
+            bad[i] ^= 0x40;
+            let bad = Signature(bad);
+            assert_eq!(pk.verify(msg, &bad).is_err(), reference::verify(&pk, msg, &bad).is_err());
+            assert!(pk.verify(msg, &bad).is_err(), "byte {i}");
+        }
+    }
+
+    #[test]
+    fn batch_verify_accepts_valid_batches() {
+        let mut rng = ChaChaRng::seed_from_u64(31415);
+        let keys: Vec<SigningKey> = (0..8).map(|_| SigningKey::generate(&mut rng)).collect();
+        let msgs: Vec<Vec<u8>> =
+            (0..8).map(|i| format!("request payload #{i}").into_bytes()).collect();
+        let sigs: Vec<Signature> =
+            keys.iter().zip(&msgs).map(|(k, m)| k.sign(m)).collect();
+        let pks: Vec<VerifyingKey> = keys.iter().map(|k| k.verifying_key()).collect();
+        let batch: Vec<(&[u8], &Signature, &VerifyingKey)> = msgs
+            .iter()
+            .zip(&sigs)
+            .zip(&pks)
+            .map(|((m, s), k)| (m.as_slice(), s, k))
+            .collect();
+        verify_batch(&batch).unwrap();
+        verify_batch(&batch[..1]).unwrap();
+        verify_batch(&[]).unwrap();
+    }
+
+    #[test]
+    fn batch_verify_rejects_any_bad_signature() {
+        let mut rng = ChaChaRng::seed_from_u64(92653);
+        let keys: Vec<SigningKey> = (0..5).map(|_| SigningKey::generate(&mut rng)).collect();
+        let msgs: Vec<Vec<u8>> = (0..5).map(|i| vec![i as u8; 24]).collect();
+        let mut sigs: Vec<Signature> =
+            keys.iter().zip(&msgs).map(|(k, m)| k.sign(m)).collect();
+        sigs[3].0[5] ^= 1; // corrupt one signature
+        let pks: Vec<VerifyingKey> = keys.iter().map(|k| k.verifying_key()).collect();
+        let batch: Vec<(&[u8], &Signature, &VerifyingKey)> = msgs
+            .iter()
+            .zip(&sigs)
+            .zip(&pks)
+            .map(|((m, s), k)| (m.as_slice(), s, k))
+            .collect();
+        assert!(verify_batch(&batch).is_err());
+        // Per-signature fallback pinpoints exactly the corrupted entry.
+        let bad: Vec<usize> = batch
+            .iter()
+            .enumerate()
+            .filter(|(_, (m, s, k))| k.verify(m, s).is_err())
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(bad, vec![3]);
     }
 
     #[test]

@@ -4,6 +4,11 @@
 //! operations and canonicalized (< p) on serialization and comparison.
 //! Reduction uses the identity 2^256 ≡ 38 (mod p).
 
+// `Fe::add`/`sub`/`mul`/`neg` are deliberately inherent methods with value
+// semantics, not `std::ops` impls: the explicit calls keep the lazy
+// (non-canonical) representation visible at every use site.
+#![allow(clippy::should_implement_trait)]
+
 /// A field element (not necessarily canonical between operations).
 #[derive(Clone, Copy, Debug)]
 pub struct Fe(pub [u64; 4]);
@@ -102,15 +107,30 @@ impl Fe {
         Fe(r)
     }
 
-    /// Subtraction.
+    /// Subtraction: `self + (2p - rhs')` keeps everything positive. The
+    /// subtrahend only needs its top bit folded (one pass), not a full
+    /// canonical reduction — after the fold `rhs' < 2^255 + 38 < 2p`, so
+    /// `2p - rhs'` cannot underflow. Subtractions pepper the point
+    /// add/double formulas, so the saved passes show up in verify latency.
     pub fn sub(self, rhs: Fe) -> Fe {
-        // self + (2p - rhs_canonical) keeps everything positive.
-        let rhs = rhs.reduce_full();
-        let mut two_p = [0u64; 4];
-        crate::bignum::add_assign(&mut two_p, &P);
-        crate::bignum::add_assign(&mut two_p, &P);
-        let mut neg = two_p;
-        crate::bignum::sub_assign(&mut neg, &rhs.0);
+        // 2p = 2^256 - 38, which still fits in four limbs.
+        const TWO_P: [u64; 4] = [
+            0xffff_ffff_ffff_ffda,
+            0xffff_ffff_ffff_ffff,
+            0xffff_ffff_ffff_ffff,
+            0xffff_ffff_ffff_ffff,
+        ];
+        let mut r = rhs.0;
+        let top = r[3] >> 63;
+        r[3] &= 0x7fff_ffff_ffff_ffff;
+        let mut carry = (top as u128) * 19;
+        for limb in r.iter_mut() {
+            let cur = *limb as u128 + carry;
+            *limb = cur as u64;
+            carry = cur >> 64;
+        }
+        let mut neg = TWO_P;
+        crate::bignum::sub_assign(&mut neg, &r);
         self.add(Fe(neg))
     }
 
@@ -119,11 +139,8 @@ impl Fe {
         Fe::ZERO.sub(self)
     }
 
-    /// Multiplication.
-    pub fn mul(self, rhs: Fe) -> Fe {
-        let mut wide = [0u64; 8];
-        crate::bignum::mul_limbs(&self.0, &rhs.0, &mut wide);
-        // Fold the high 256 bits: 2^256 ≡ 38 (mod p).
+    /// Folds a 512-bit product into 256 bits using 2^256 ≡ 38 (mod p).
+    fn fold_wide(wide: &[u64; 8]) -> Fe {
         let mut r = [0u64; 4];
         r.copy_from_slice(&wide[..4]);
         let mut carry: u128 = 0;
@@ -147,9 +164,20 @@ impl Fe {
         Fe(r)
     }
 
-    /// Squaring.
+    /// Multiplication.
+    pub fn mul(self, rhs: Fe) -> Fe {
+        let mut wide = [0u64; 8];
+        crate::bignum::mul_limbs(&self.0, &rhs.0, &mut wide);
+        Fe::fold_wide(&wide)
+    }
+
+    /// Squaring, via the dedicated limb squaring (10 limb multiplies
+    /// against 16 for a general multiply). Squarings dominate the doubling
+    /// chain of scalar multiplication, so this matters for verify latency.
     pub fn square(self) -> Fe {
-        self.mul(self)
+        let mut wide = [0u64; 8];
+        crate::bignum::square_limbs(&self.0, &mut wide);
+        Fe::fold_wide(&wide)
     }
 
     /// Exponentiation by a 256-bit little-endian exponent.
@@ -164,12 +192,51 @@ impl Fe {
         result
     }
 
+    /// `self^(2^k)`: k successive squarings.
+    fn pow2k(self, k: u32) -> Fe {
+        let mut r = self;
+        for _ in 0..k {
+            r = r.square();
+        }
+        r
+    }
+
+    /// The shared prefix of the two hot-path exponents: returns
+    /// `(self^(2^250 - 1), self^11)`. Both p−2 = 2^255 − 21 and
+    /// (p−5)/8 = 2^252 − 3 are a long run of ones with a short tail, so a
+    /// repeated-doubling chain reaches them in ~254 squarings and 11
+    /// multiplies — versus ~250 multiplies for generic square-and-multiply
+    /// ([`Fe::pow`]), which made inversion and square roots the single
+    /// largest cost of point decompression.
+    fn pow22501(self) -> (Fe, Fe) {
+        let t2 = self.square(); // x^2
+        let x9 = t2.square().square().mul(self); // x^9
+        let x11 = x9.mul(t2); // x^11
+        let x31 = x11.square().mul(x9); // x^31 = x^(2^5 - 1)
+        let f10 = x31.pow2k(5).mul(x31); // x^(2^10 - 1)
+        let f20 = f10.pow2k(10).mul(f10); // x^(2^20 - 1)
+        let f40 = f20.pow2k(20).mul(f20); // x^(2^40 - 1)
+        let f50 = f40.pow2k(10).mul(f10); // x^(2^50 - 1)
+        let f100 = f50.pow2k(50).mul(f50); // x^(2^100 - 1)
+        let f200 = f100.pow2k(100).mul(f100); // x^(2^200 - 1)
+        let f250 = f200.pow2k(50).mul(f50); // x^(2^250 - 1)
+        (f250, x11)
+    }
+
     /// Multiplicative inverse via Fermat's little theorem (x^(p-2)).
     /// Returns zero for zero.
     pub fn invert(self) -> Fe {
-        let mut e = P;
-        e[0] -= 2; // p - 2 (no borrow: low limb ends in ...ed)
-        self.pow(&e)
+        // p - 2 = 2^255 - 21 = (2^250 - 1)·2^5 + 11.
+        let (f250, x11) = self.pow22501();
+        f250.pow2k(5).mul(x11)
+    }
+
+    /// `self^((p-5)/8)`, the square-root-candidate exponent of
+    /// [`Fe::sqrt_ratio`].
+    fn pow_p58(self) -> Fe {
+        // (p-5)/8 = 2^252 - 3 = (2^250 - 1)·2^2 + 1.
+        let (f250, _) = self.pow22501();
+        f250.pow2k(2).mul(self)
     }
 
     /// True iff the canonical value is zero.
@@ -205,6 +272,25 @@ impl Fe {
         }
         None
     }
+
+    /// `sqrt(u/v)` in a single exponentiation (RFC 8032 §5.1.3): the
+    /// candidate is `u·v³·(u·v⁷)^((p-5)/8)`, fixed up by sqrt(-1) when
+    /// `v·x² == -u`. Replaces the separate invert-then-sqrt (two
+    /// exponentiations) on the point-decompression path. Returns `None`
+    /// when `u/v` is a non-residue, including `v = 0` with `u != 0`.
+    pub fn sqrt_ratio(u: Fe, v: Fe) -> Option<Fe> {
+        let v3 = v.square().mul(v);
+        let v7 = v3.square().mul(v);
+        let candidate = u.mul(v3).mul(u.mul(v7).pow_p58());
+        let check = v.mul(candidate.square());
+        if check == u {
+            return Some(candidate);
+        }
+        if check == u.neg() {
+            return Some(candidate.mul(sqrt_m1()));
+        }
+        None
+    }
 }
 
 /// sqrt(-1) = 2^((p-1)/4) mod p, derived once.
@@ -231,6 +317,36 @@ mod tests {
 
     fn fe(v: u64) -> Fe {
         Fe::from_u64(v)
+    }
+
+    #[test]
+    fn addition_chain_matches_generic_pow() {
+        // The fused invert/pow_p58 chains must agree with plain
+        // square-and-multiply over the published exponents.
+        let p_minus_2 = {
+            let mut e = P;
+            e[0] -= 2;
+            e
+        };
+        let p58 = {
+            let mut e = P;
+            e[0] -= 5;
+            for i in 0..4 {
+                e[i] >>= 3;
+                if i + 1 < 4 {
+                    e[i] |= e[i + 1] << 61;
+                }
+            }
+            e
+        };
+        for v in [1u64, 2, 3, 19, 123456789, u64::MAX] {
+            let x = fe(v);
+            assert_eq!(x.invert(), x.pow(&p_minus_2), "invert({v})");
+            assert_eq!(x.pow_p58(), x.pow(&p58), "pow_p58({v})");
+        }
+        let big = Fe::from_bytes(&[0xa7; 32]);
+        assert_eq!(big.invert(), big.pow(&p_minus_2));
+        assert_eq!(big.pow_p58(), big.pow(&p58));
     }
 
     #[test]
@@ -295,6 +411,42 @@ mod tests {
             }
         }
         assert!(found_none, "expected a quadratic non-residue among small ints");
+    }
+
+    #[test]
+    fn dedicated_square_matches_mul() {
+        let mut vals = vec![Fe::ZERO, Fe::ONE, Fe(P), sqrt_m1()];
+        let mut x = fe(0x1234_5678_9abc_def0);
+        for _ in 0..32 {
+            x = x.mul(x.add(Fe::ONE));
+            vals.push(x);
+        }
+        for v in vals {
+            assert_eq!(v.square(), v.mul(v));
+        }
+    }
+
+    #[test]
+    fn sqrt_ratio_agrees_with_invert_then_sqrt() {
+        let mut x = fe(3);
+        for _ in 0..48 {
+            x = x.mul(x).add(Fe::ONE);
+            let u = x;
+            let v = x.add(fe(17));
+            let reference = u.mul(v.invert()).sqrt();
+            let fast = Fe::sqrt_ratio(u, v);
+            match (reference, fast) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    assert!(a == b || a == b.neg(), "roots differ beyond sign");
+                    assert_eq!(v.mul(b.square()), u);
+                }
+                (a, b) => panic!("residue disagreement: {:?} vs {:?}", a, b),
+            }
+        }
+        // Edge cases: 0/v has root 0; u/0 has no root for u != 0.
+        assert_eq!(Fe::sqrt_ratio(Fe::ZERO, fe(7)), Some(Fe::ZERO));
+        assert_eq!(Fe::sqrt_ratio(fe(7), Fe::ZERO), None);
     }
 
     #[test]

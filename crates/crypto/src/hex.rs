@@ -16,7 +16,7 @@ pub fn to_hex(bytes: &[u8]) -> String {
 /// Decodes a hex string (case-insensitive) into bytes.
 pub fn from_hex(s: &str) -> Result<Vec<u8>, CryptoError> {
     let s = s.trim();
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return Err(CryptoError::Encoding("odd-length hex string"));
     }
     let mut out = Vec::with_capacity(s.len() / 2);

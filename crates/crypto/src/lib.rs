@@ -43,7 +43,7 @@ pub mod shamir;
 pub mod sha2;
 pub mod x25519;
 
-pub use ed25519::{SigningKey, VerifyingKey, Signature};
+pub use ed25519::{verify_batch, SigningKey, VerifyingKey, Signature};
 pub use gcm::AesGcm256;
 pub use sha2::{sha256, sha512, Sha256, Sha512};
 

@@ -35,7 +35,7 @@ pub fn base64_decode(s: &str) -> Result<Vec<u8>, CryptoError> {
         }
     }
     let cleaned: Vec<u8> = s.bytes().filter(|b| !b.is_ascii_whitespace()).collect();
-    if cleaned.len() % 4 != 0 {
+    if !cleaned.len().is_multiple_of(4) {
         return Err(CryptoError::Encoding("base64 length not a multiple of 4"));
     }
     let mut out = Vec::with_capacity(cleaned.len() / 4 * 3);

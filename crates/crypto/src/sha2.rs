@@ -97,7 +97,7 @@ mod consts {
         let mut out = Vec::with_capacity(n);
         let mut c = 2u64;
         while out.len() < n {
-            if out.iter().all(|&p| c % p != 0) {
+            if out.iter().all(|&p| !c.is_multiple_of(p)) {
                 out.push(c);
             }
             c += 1;
@@ -115,7 +115,7 @@ mod consts {
         let mut hi: u128 = 1u128 << (bits / k + 1).min(127);
         let mut lo: u128 = 0;
         while lo < hi {
-            let mid = lo + (hi - lo + 1) / 2;
+            let mid = lo + (hi - lo).div_ceil(2);
             let m = U256::from_u128(mid);
             let mut pow = m;
             for _ in 1..k {

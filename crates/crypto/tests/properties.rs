@@ -138,4 +138,119 @@ proptest! {
             prop_assert_eq!(a.mul(a.invert()), Fe::ONE);
         }
     }
+
+    // ------------------------------------------------------------------
+    // Fast-path verification equivalence: the windowed Strauss–Shamir
+    // verify and the batch verify must accept *exactly* the same
+    // (message, signature, key) triples as the frozen seed double-and-add
+    // pipeline (`ed25519::reference`).
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn fast_verify_agrees_with_reference_on_valid_and_tampered(
+        seed in any::<[u8; 32]>(),
+        msg in proptest::collection::vec(any::<u8>(), 0..128),
+        tamper_at in 0usize..64,
+        tamper_bit in 0u8..8,
+    ) {
+        use ccf_crypto::ed25519::reference;
+        use ccf_crypto::{Signature, SigningKey};
+        let key = SigningKey::from_seed(seed);
+        let vk = key.verifying_key();
+        let sig = key.sign(&msg);
+        // Valid triple: both paths accept.
+        prop_assert!(vk.verify(&msg, &sig).is_ok());
+        prop_assert!(reference::verify(&vk, &msg, &sig).is_ok());
+        // Any single-bit corruption of the signature: the two paths must
+        // still agree (almost always both reject; a flip in unused high
+        // bits could be accepted by both — agreement is the property).
+        let mut bad = sig.0;
+        bad[tamper_at] ^= 1 << tamper_bit;
+        let tampered = Signature(bad);
+        prop_assert_eq!(
+            vk.verify(&msg, &tampered).is_ok(),
+            reference::verify(&vk, &msg, &tampered).is_ok(),
+        );
+        // Corrupted message: agreement again.
+        let mut wrong_msg = msg.clone();
+        wrong_msg.push(0x5a);
+        prop_assert_eq!(
+            vk.verify(&wrong_msg, &sig).is_ok(),
+            reference::verify(&vk, &wrong_msg, &sig).is_ok(),
+        );
+    }
+
+    #[test]
+    fn non_canonical_s_rejected_by_both_paths(
+        seed in any::<[u8; 32]>(),
+        msg in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        use ccf_crypto::ed25519::reference;
+        use ccf_crypto::{Signature, SigningKey};
+        let key = SigningKey::from_seed(seed);
+        let vk = key.verifying_key();
+        let sig = key.sign(&msg);
+        // Malleate: s' = s + L encodes the same residue but is
+        // non-canonical; RFC 8032 verification must reject it.
+        let mut bad = sig.0;
+        let mut carry = 0u16;
+        for (i, limb) in ccf_crypto::bignum::L.iter().enumerate() {
+            for (j, lb) in limb.to_le_bytes().iter().enumerate() {
+                let k = 32 + i * 8 + j;
+                let sum = bad[k] as u16 + *lb as u16 + carry;
+                bad[k] = sum as u8;
+                carry = sum >> 8;
+            }
+        }
+        prop_assert_eq!(carry, 0, "s + L must fit in 32 bytes");
+        let malleated = Signature(bad);
+        prop_assert!(vk.verify(&msg, &malleated).is_err());
+        prop_assert!(reference::verify(&vk, &msg, &malleated).is_err());
+        prop_assert!(ccf_crypto::verify_batch(&[(msg.as_slice(), &malleated, &vk)]).is_err());
+    }
+
+    #[test]
+    fn batch_verify_is_exactly_the_conjunction_of_single_verifies(
+        seed in any::<u64>(),
+        n in 1usize..12,
+        corrupt_mask in any::<u16>(),
+    ) {
+        use ccf_crypto::{verify_batch, Signature, SigningKey};
+        use ccf_crypto::sha2::sha256;
+        let keys: Vec<SigningKey> = (0..n)
+            .map(|i| SigningKey::from_seed(sha256(format!("batch-{seed}-{i}").as_bytes())))
+            .collect();
+        let msgs: Vec<Vec<u8>> = (0..n).map(|i| format!("message {seed} {i}").into_bytes()).collect();
+        let mut sigs: Vec<Signature> = keys.iter().zip(&msgs).map(|(k, m)| k.sign(m)).collect();
+        // Corrupt the subset of signatures selected by the mask.
+        for (i, sig) in sigs.iter_mut().enumerate() {
+            if corrupt_mask & (1 << i) != 0 {
+                sig.0[(seed as usize + i) % 64] ^= 0x20;
+            }
+        }
+        let vks: Vec<_> = keys.iter().map(|k| k.verifying_key()).collect();
+        let triples: Vec<(&[u8], &Signature, &ccf_crypto::VerifyingKey)> = msgs
+            .iter()
+            .zip(&sigs)
+            .zip(&vks)
+            .map(|((m, s), v)| (m.as_slice(), s, v))
+            .collect();
+        let singles: Vec<bool> =
+            triples.iter().map(|(m, s, v)| v.verify(m, s).is_ok()).collect();
+        // The batch accepts iff every member verifies individually.
+        prop_assert_eq!(verify_batch(&triples).is_ok(), singles.iter().all(|ok| *ok));
+        // When the batch rejects, the per-signature fallback pinpoints
+        // exactly the corrupted members.
+        if !singles.iter().all(|ok| *ok) {
+            let culprits: Vec<usize> = singles
+                .iter()
+                .enumerate()
+                .filter(|(_, ok)| !**ok)
+                .map(|(i, _)| i)
+                .collect();
+            let expected: Vec<usize> =
+                (0..n).filter(|i| corrupt_mask & (1 << i) != 0).collect();
+            prop_assert_eq!(culprits, expected);
+        }
+    }
 }

@@ -46,13 +46,17 @@ impl SignedRequest {
         }
     }
 
+    /// The exact bytes the signature covers. Exposed so transports can
+    /// check many envelopes in one batched verification
+    /// ([`ccf_crypto::verify_batch`]) rather than one at a time.
+    pub fn signed_bytes(&self) -> Vec<u8> {
+        Self::protected_bytes(&self.purpose, &self.payload, self.nonce)
+    }
+
     /// Verifies the envelope's signature (the caller decides whether the
     /// signer is authorized, e.g. by looking up `members.certs`).
     pub fn verify(&self) -> Result<(), CryptoError> {
-        self.signer.verify(
-            &Self::protected_bytes(&self.purpose, &self.payload, self.nonce),
-            &self.signature,
-        )
+        self.signer.verify(&self.signed_bytes(), &self.signature)
     }
 
     /// Verifies and additionally checks the expected purpose.

@@ -17,7 +17,7 @@ use std::sync::Arc;
 
 const BITS: u32 = 5;
 const FANOUT: usize = 1 << BITS; // 32
-const MAX_DEPTH: u32 = (64 / BITS) as u32 + 1; // hash exhausted below this
+const MAX_DEPTH: u32 = 64 / BITS + 1; // hash exhausted below this
 
 /// Key bound: hashable, comparable, cheap to clone (keys are `Vec<u8>` or
 /// small strings throughout the workspace).

@@ -12,6 +12,8 @@
 //! the retained leaf digests. Consensus can roll back uncommitted suffixes
 //! after a view change, so the tree supports truncation.
 
+use std::cell::Cell;
+
 use ccf_crypto::sha2::Sha256;
 use ccf_crypto::Digest32;
 
@@ -122,10 +124,21 @@ struct Peak {
 }
 
 /// The incremental Merkle tree.
+///
+/// The root is cached between appends: folding the peak stack costs
+/// O(log n) hashes, and the node asks for the root far more often than the
+/// tree changes (every signature interval, every receipt, every status
+/// probe). Invariant: `cached_root` is only ever `Some(r)` when `r` equals
+/// the fold of the current peak stack; every mutation (append, truncate)
+/// clears it before touching the peaks, so a stale value can never be
+/// observed. `Cell` keeps `root(&self)` a shared-reference call; the tree
+/// is only ever used behind a `Mutex` (or single-threaded), so the lost
+/// `Sync` does not matter.
 #[derive(Clone, Debug, Default)]
 pub struct MerkleTree {
     leaves: Vec<Digest32>,
     peaks: Vec<Peak>,
+    cached_root: Cell<Option<Digest32>>,
 }
 
 impl MerkleTree {
@@ -151,7 +164,39 @@ impl MerkleTree {
 
     /// Appends a precomputed leaf digest.
     pub fn append_digest(&mut self, digest: Digest32) {
+        self.cached_root.set(None);
         self.leaves.push(digest);
+        self.merge_peak(digest);
+    }
+
+    /// Appends many leaves (raw bytes) in one call. One cache invalidation
+    /// and one capacity reservation for the whole batch; the per-leaf work
+    /// is just the leaf hash plus the amortized-O(1) peak merge.
+    pub fn append_batch<'a, I>(&mut self, leaves: I)
+    where
+        I: IntoIterator<Item = &'a [u8]>,
+    {
+        self.append_digests(leaves.into_iter().map(leaf_hash));
+    }
+
+    /// Appends many precomputed leaf digests in one call.
+    pub fn append_digests<I>(&mut self, digests: I)
+    where
+        I: IntoIterator<Item = Digest32>,
+    {
+        self.cached_root.set(None);
+        let digests = digests.into_iter();
+        let (lower, _) = digests.size_hint();
+        self.leaves.reserve(lower);
+        for digest in digests {
+            self.leaves.push(digest);
+            self.merge_peak(digest);
+        }
+    }
+
+    /// Pushes a height-0 peak and merges equal-height neighbours, keeping
+    /// the stack strictly decreasing in height (amortized O(1) per leaf).
+    fn merge_peak(&mut self, digest: Digest32) {
         let mut peak = Peak { height: 0, root: digest };
         while let Some(top) = self.peaks.last() {
             if top.height == peak.height {
@@ -170,9 +215,14 @@ impl MerkleTree {
     }
 
     /// The current root. Peaks are folded right-to-left, which reproduces
-    /// the RFC 6962 root for any tree size.
+    /// the RFC 6962 root for any tree size. The fold is cached until the
+    /// next mutation, so repeated reads within a signature interval are
+    /// free.
     pub fn root(&self) -> Digest32 {
-        match self.peaks.len() {
+        if let Some(root) = self.cached_root.get() {
+            return root;
+        }
+        let root = match self.peaks.len() {
             0 => empty_root(),
             _ => {
                 let mut iter = self.peaks.iter().rev();
@@ -182,29 +232,22 @@ impl MerkleTree {
                 }
                 acc
             }
-        }
+        };
+        self.cached_root.set(Some(root));
+        root
     }
 
     /// Removes all leaves at index >= `new_len` (consensus rollback).
     pub fn truncate(&mut self, new_len: u64) {
         assert!(new_len <= self.len(), "cannot truncate to a larger size");
+        self.cached_root.set(None);
         self.leaves.truncate(new_len as usize);
         // Rebuild the peak stack from the retained leaves. Rollbacks are
         // rare (view changes), so O(n) is acceptable.
         self.peaks.clear();
         let leaves = std::mem::take(&mut self.leaves);
         for digest in &leaves {
-            let mut peak = Peak { height: 0, root: *digest };
-            while let Some(top) = self.peaks.last() {
-                if top.height == peak.height {
-                    let left = self.peaks.pop().unwrap();
-                    peak =
-                        Peak { height: peak.height + 1, root: node_hash(&left.root, &peak.root) };
-                } else {
-                    break;
-                }
-            }
-            self.peaks.push(peak);
+            self.merge_peak(*digest);
         }
         self.leaves = leaves;
     }
@@ -442,6 +485,60 @@ mod tests {
         }
         assert!(tree.prove_at_size(5, 31).is_none());
         assert!(tree.prove_at_size(10, 10).is_none());
+    }
+
+    #[test]
+    fn append_batch_matches_sequential_appends() {
+        for n in [0u64, 1, 2, 3, 7, 8, 33, 100] {
+            let ls = leaves(n);
+            let mut one_by_one = MerkleTree::new();
+            for leaf in &ls {
+                one_by_one.append(leaf);
+            }
+            let mut batched = MerkleTree::new();
+            batched.append_batch(ls.iter().map(|l| l.as_slice()));
+            assert_eq!(batched.root(), one_by_one.root(), "n={n}");
+            assert_eq!(batched.len(), one_by_one.len());
+            // Split batches agree too.
+            let mut split = MerkleTree::new();
+            let mid = ls.len() / 2;
+            split.append_batch(ls[..mid].iter().map(|l| l.as_slice()));
+            split.append_batch(ls[mid..].iter().map(|l| l.as_slice()));
+            assert_eq!(split.root(), one_by_one.root(), "split n={n}");
+        }
+    }
+
+    #[test]
+    fn append_digests_matches_append_digest() {
+        let digests: Vec<Digest32> = (0..20u8).map(|i| ccf_crypto::sha2::sha256(&[i])).collect();
+        let mut one_by_one = MerkleTree::new();
+        for d in &digests {
+            one_by_one.append_digest(*d);
+        }
+        let mut batched = MerkleTree::new();
+        batched.append_digests(digests.iter().copied());
+        assert_eq!(batched.root(), one_by_one.root());
+    }
+
+    #[test]
+    fn cached_root_tracks_every_mutation() {
+        let mut tree = MerkleTree::new();
+        assert_eq!(tree.root(), empty_root());
+        for (i, leaf) in leaves(40).iter().enumerate() {
+            tree.append(leaf);
+            // First read populates the cache, second read must agree with
+            // the slow recursive oracle.
+            let first = tree.root();
+            assert_eq!(first, tree.root());
+            assert_eq!(first, tree.root_recursive(), "size {}", i + 1);
+        }
+        // Truncation invalidates; a clone carries a still-correct cache.
+        let snapshot = tree.clone();
+        tree.truncate(17);
+        assert_eq!(tree.root(), tree.root_recursive());
+        assert_eq!(snapshot.root(), snapshot.root_recursive());
+        tree.append_batch([b"x".as_slice(), b"y".as_slice()]);
+        assert_eq!(tree.root(), tree.root_recursive());
     }
 
     #[test]

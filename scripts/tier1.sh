@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything that must stay green on every PR.
+#   build (release) + full test suite + benches compile + lint-clean
+# Usage: scripts/tier1.sh  (from anywhere inside the repo)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier1: cargo build --release"
+cargo build --release
+
+echo "== tier1: cargo test"
+cargo test -q
+
+echo "== tier1: cargo bench --no-run"
+cargo bench --no-run -q
+
+echo "== tier1: clippy -D warnings (touched crates)"
+cargo clippy -q -p ccf-crypto -p ccf-ledger -p ccf-core -p ccf-bench -- -D warnings
+
+echo "== tier1: OK"
