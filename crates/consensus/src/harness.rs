@@ -263,9 +263,31 @@ impl Cluster {
         self.net.crash(&id.to_string());
     }
 
+    /// Revives a crashed node with its in-memory state intact.
+    ///
+    /// Real CCF nodes never resume after a crash (§6.2) — they rejoin as
+    /// fresh nodes — but for fault-injection a resume is strictly
+    /// stronger than Raft-style persistence: the node returns with
+    /// *exactly* the state it had, equivalent to a long full partition of
+    /// that node, so every safety property must still hold.
+    pub fn restart(&mut self, id: &str) {
+        if self.crashed.remove(id) {
+            self.net.restart(&id.to_string());
+        }
+    }
+
     /// True if the node was crashed.
     pub fn is_crashed(&self, id: &str) -> bool {
         self.crashed.contains(id)
+    }
+
+    /// IDs of live (non-crashed) nodes, in deterministic order.
+    pub fn live_ids(&self) -> Vec<NodeId> {
+        self.replicas
+            .keys()
+            .filter(|id| !self.crashed.contains(*id))
+            .cloned()
+            .collect()
     }
 
     /// Commit seqno on each live node.

@@ -32,7 +32,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod harness;
+pub mod invariants;
 pub mod message;
 pub mod replica;
 

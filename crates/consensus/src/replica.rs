@@ -122,6 +122,14 @@ pub enum Event {
     },
     /// This node's removal from the configuration has committed (§4.5).
     RetirementCommitted,
+    /// The replica refused a message that would have violated a safety
+    /// invariant (e.g. rolling back committed entries). Unlike a
+    /// `debug_assert!`, this fires in release builds too; the chaos
+    /// harness treats any occurrence among honest nodes as a bug.
+    InvariantRejected {
+        /// Human-readable description of the refused action.
+        reason: String,
+    },
 }
 
 /// Errors from [`Replica::propose`].
@@ -842,10 +850,22 @@ impl<F: SignatureFactory> Replica<F> {
         self.reset_election_timer();
     }
 
-    fn truncate_to(&mut self, seqno: Seqno) {
-        debug_assert!(seqno >= self.commit_seqno, "cannot roll back committed entries");
+    /// Discards all ledger entries after `seqno`. Returns `false` — and
+    /// leaves the log untouched — if that would roll back committed
+    /// entries: commit is a durability promise (§4.1), so the guard must
+    /// hold in release builds, not only under `debug_assert!`.
+    fn truncate_to(&mut self, seqno: Seqno) -> bool {
+        if seqno < self.commit_seqno {
+            self.events.push(Event::InvariantRejected {
+                reason: format!(
+                    "truncate to {seqno} would roll back committed prefix {}",
+                    self.commit_seqno
+                ),
+            });
+            return false;
+        }
         if seqno >= self.last_seqno() {
-            return;
+            return true;
         }
         self.ledger.truncate((seqno - self.base_seqno) as usize);
         self.merkle.truncate(seqno);
@@ -870,6 +890,7 @@ impl<F: SignatureFactory> Replica<F> {
             .take_while(|e| e.entry.kind != EntryKind::Signature)
             .count() as u64;
         self.events.push(Event::RolledBack { seqno });
+        true
     }
 
     // ------------------------------------------------------------------
@@ -950,22 +971,85 @@ impl<F: SignatureFactory> Replica<F> {
         // Append, resolving conflicts in the primary's favour (§4.2).
         for re in m.entries {
             let s = re.entry.txid.seqno;
+            if s <= self.base_seqno {
+                // Below our snapshot base: already covered by durable
+                // state, nothing to compare against.
+                continue;
+            }
             match self.txid_at(s) {
                 Some(local) if local == re.entry.txid => continue, // duplicate
+                Some(_) if s <= self.commit_seqno => {
+                    // An entry conflicting with our *committed* prefix can
+                    // only come from a Byzantine or corrupted primary —
+                    // quorum intersection guarantees an honest one extends
+                    // what we committed. Refuse the whole message (§4.1);
+                    // truncate_to would also refuse, but rejecting here
+                    // records the violation before touching any state.
+                    self.events.push(Event::InvariantRejected {
+                        reason: format!(
+                            "append entries from {from} conflict at {s} below commit {}",
+                            self.commit_seqno
+                        ),
+                    });
+                    self.outbox.push((
+                        from.clone(),
+                        Message::AppendEntriesResponse(AppendEntriesResponse {
+                            view: self.view,
+                            from: self.id.clone(),
+                            success: false,
+                            last_seqno: self.commit_seqno,
+                        }),
+                    ));
+                    return;
+                }
                 Some(_) => {
-                    // Conflicting suffix: delete ours, then append.
-                    self.truncate_to(s - 1);
+                    // Conflicting uncommitted suffix: delete ours, then
+                    // append. truncate_to refuses (returning false) if it
+                    // would cross the commit point.
+                    if !self.truncate_to(s - 1) {
+                        self.outbox.push((
+                            from.clone(),
+                            Message::AppendEntriesResponse(AppendEntriesResponse {
+                                view: self.view,
+                                from: self.id.clone(),
+                                success: false,
+                                last_seqno: self.commit_seqno,
+                            }),
+                        ));
+                        return;
+                    }
                     self.append_local(re);
                 }
                 None => {
-                    debug_assert_eq!(s, self.last_seqno() + 1);
+                    if s != self.last_seqno() + 1 {
+                        // Gapped batch: the prev check passed but the
+                        // entries skip ahead of our log. The old
+                        // `debug_assert_eq!` vanished in release and we
+                        // appended entries with holes below them; instead
+                        // reply failure with our last seqno as the
+                        // retransmission hint.
+                        self.outbox.push((
+                            from.clone(),
+                            Message::AppendEntriesResponse(AppendEntriesResponse {
+                                view: self.view,
+                                from: self.id.clone(),
+                                success: false,
+                                last_seqno: self.last_seqno(),
+                            }),
+                        ));
+                        return;
+                    }
                     self.append_local(re);
                 }
             }
         }
 
-        // Advance commit from the primary's commit seqno.
-        let new_commit = m.commit_seqno.min(self.last_seqno());
+        // Advance commit from the primary's commit seqno, floored to the
+        // newest signature transaction we hold: the commit point only ever
+        // rests on signature transactions (§4.1), and when the primary's
+        // commit outruns the entries delivered so far, the raw
+        // `min(last_seqno)` could land mid-unsigned-block.
+        let new_commit = m.commit_seqno.min(self.last_sig.seqno.max(self.base_seqno));
         if new_commit > self.commit_seqno {
             self.advance_commit_backup(new_commit);
         }
@@ -1030,10 +1114,16 @@ impl<F: SignatureFactory> Replica<F> {
                 self.send_entries_to(&m.from.clone());
             }
         } else {
-            // Back off using the peer's hint (§4.2).
-            let current = self.next_seqno.get(&m.from).copied().unwrap_or(self.last_seqno() + 1);
-            let backed_off = current.saturating_sub(1).min(m.last_seqno + 1).max(1);
-            self.next_seqno.insert(m.from.clone(), backed_off);
+            // Jump straight to the peer's hint (§4.2) — in either
+            // direction. The hint is the peer's last matching seqno (or
+            // its snapshot base), so `hint + 1` is the exact next entry it
+            // needs: a peer that truncated a conflicting suffix needs us
+            // lower, while a freshly snapshot-restored follower reports a
+            // base far *ahead* of our probe. The previous code clamped to
+            // `current - 1`, degenerating to one-seqno-per-round-trip
+            // catch-up (O(log length) round trips instead of O(1)).
+            let next = (m.last_seqno + 1).min(self.last_seqno() + 1).max(1);
+            self.next_seqno.insert(m.from.clone(), next);
             self.send_entries_to(&m.from.clone());
         }
     }

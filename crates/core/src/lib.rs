@@ -62,6 +62,7 @@
 #![warn(missing_docs)]
 
 pub mod app;
+pub mod chaos;
 pub mod http;
 pub mod indexer;
 pub mod node;

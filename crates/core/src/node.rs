@@ -136,6 +136,12 @@ struct NodeInner {
     signed_request_responses: BTreeMap<u64, Response>,
     /// Next queued-request ticket.
     next_signed_ticket: u64,
+    /// When true, consensus events are also copied into
+    /// `recorded_events` for the chaos invariant checker.
+    record_events: bool,
+    /// Consensus events retained for the chaos checker (drained by
+    /// [`CcfNode::take_recorded_events`]).
+    recorded_events: Vec<Event>,
 }
 
 /// A CCF node.
@@ -195,6 +201,8 @@ impl CcfNode {
                 signed_request_queue: Vec::new(),
                 signed_request_responses: BTreeMap::new(),
                 next_signed_ticket: 0,
+                record_events: false,
+                recorded_events: Vec::new(),
             }),
             last_applied_view: std::sync::atomic::AtomicU64::new(0),
             last_applied_seqno: std::sync::atomic::AtomicU64::new(0),
@@ -249,6 +257,8 @@ impl CcfNode {
                 signed_request_queue: Vec::new(),
                 signed_request_responses: BTreeMap::new(),
                 next_signed_ticket: 0,
+                record_events: false,
+                recorded_events: Vec::new(),
             }),
             last_applied_view: std::sync::atomic::AtomicU64::new(0),
             last_applied_seqno: std::sync::atomic::AtomicU64::new(0),
@@ -529,6 +539,9 @@ impl CcfNode {
     /// Handles all queued consensus events. Caller holds the inner lock.
     fn handle_events(&self, inner: &mut NodeInner) {
         let events = inner.replica.drain_events();
+        if inner.record_events {
+            inner.recorded_events.extend(events.iter().cloned());
+        }
         for event in events {
             match event {
                 Event::Appended { entry } => self.on_appended(inner, entry),
@@ -553,6 +566,9 @@ impl CcfNode {
                 Event::RetirementCommitted => {
                     inner.retired = true;
                 }
+                // A refused unsafe message mutates nothing; the chaos
+                // checker (if recording) flags it from the event log.
+                Event::InvariantRejected { .. } => {}
             }
         }
     }
@@ -894,6 +910,35 @@ impl CcfNode {
     /// (§4.3 session consistency).
     pub fn view_epoch(&self) -> u64 {
         self.inner.lock().view_epoch
+    }
+
+    // ------------------------------------------------------------------
+    // Chaos / invariant checking hooks
+    // ------------------------------------------------------------------
+
+    /// Starts retaining a copy of every consensus event for the chaos
+    /// invariant checker (off by default — unbounded if never drained).
+    pub fn enable_event_recording(&self) {
+        self.inner.lock().record_events = true;
+    }
+
+    /// Drains the events recorded since the last call.
+    pub fn take_recorded_events(&self) -> Vec<Event> {
+        std::mem::take(&mut self.inner.lock().recorded_events)
+    }
+
+    /// `(txid, payload digest, kind)` of the retained ledger entry at
+    /// `seqno` (`None` below the snapshot base / past the end) — the
+    /// [`ccf_consensus::invariants::StateView`] window for chaos runs.
+    pub fn entry_info(
+        &self,
+        seqno: Seqno,
+    ) -> Option<(TxId, ccf_crypto::Digest32, EntryKind)> {
+        self.inner
+            .lock()
+            .replica
+            .entry_at(seqno)
+            .map(|e| (e.entry.txid, e.entry.digest(), e.entry.kind))
     }
 
     // ------------------------------------------------------------------

@@ -385,6 +385,17 @@ impl ServiceCluster {
         self.crashed.contains(id)
     }
 
+    /// Revives a crashed node with its in-memory state intact (chaos
+    /// harness only). Production CCF nodes never resume (§6.2); an
+    /// in-memory resume is safety-equivalent to healing a long full
+    /// partition of that node, so it is a valid — and stronger — fault
+    /// for the nemesis to inject.
+    pub fn restart(&mut self, id: &str) {
+        if self.crashed.remove(id) {
+            self.net.restart(&id.to_string());
+        }
+    }
+
     // ------------------------------------------------------------------
     // Users
     // ------------------------------------------------------------------

@@ -13,6 +13,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod nemesis;
+
 use ccf_crypto::chacha::ChaChaRng;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, BTreeSet, HashSet};
@@ -84,11 +86,18 @@ pub struct SimNet<M> {
     /// Partition groups: nodes in different groups cannot communicate.
     /// Empty = fully connected.
     partition_groups: Vec<BTreeSet<NodeId>>,
+    /// Directional blocks: `(from, to)` pairs whose messages are dropped
+    /// even when the partition groups would allow them (asymmetric /
+    /// one-way partitions, the classic "A hears B but B not A" fault).
+    blocked_links: HashSet<(NodeId, NodeId)>,
+    /// Probability of scheduling a second, independently delayed copy of
+    /// any message (duplication fault; 0 = off).
+    duplicate_probability: f64,
     sent: u64,
     dropped: u64,
 }
 
-impl<M: Eq> SimNet<M> {
+impl<M: Eq + Clone> SimNet<M> {
     /// Creates a network with the given behaviour and seed.
     pub fn new(cfg: NetConfig, seed: u64) -> SimNet<M> {
         SimNet {
@@ -99,6 +108,8 @@ impl<M: Eq> SimNet<M> {
             now: 0,
             crashed: HashSet::new(),
             partition_groups: Vec::new(),
+            blocked_links: HashSet::new(),
+            duplicate_probability: 0.0,
             sent: 0,
             dropped: 0,
         }
@@ -124,7 +135,12 @@ impl<M: Eq> SimNet<M> {
         self.dropped
     }
 
+    /// Whether a message from `a` can currently reach `b` (directional:
+    /// one-way blocks apply to the `(a, b)` direction only).
     fn can_communicate(&self, a: &NodeId, b: &NodeId) -> bool {
+        if self.blocked_links.contains(&(a.clone(), b.clone())) {
+            return false;
+        }
         if self.partition_groups.is_empty() {
             return true;
         }
@@ -137,6 +153,12 @@ impl<M: Eq> SimNet<M> {
             (None, None) => true,
             _ => false,
         }
+    }
+
+    /// True when a message queued from `s.from` to `s.to` would be dropped
+    /// rather than delivered if it came due right now.
+    fn undeliverable(&self, to: &NodeId, from: &NodeId) -> bool {
+        self.crashed.contains(to) || !self.can_communicate(from, to)
     }
 
     /// Sends `msg` from `from` to `to`, subject to faults and latency.
@@ -156,14 +178,30 @@ impl<M: Eq> SimNet<M> {
         }
         let (lo, hi) = self.cfg.latency;
         let delay = self.rng.gen_range_in(lo, hi.max(lo + 1));
+        // Duplication fault: occasionally schedule a second copy with an
+        // independent delay, so the receiver sees the same message twice,
+        // possibly out of order with its neighbours.
+        let duplicate = self.duplicate_probability > 0.0
+            && self.rng.gen_bool(self.duplicate_probability);
         self.seq += 1;
         self.queue.push(Reverse(Scheduled {
             deliver_at: self.now + delay,
             seq: self.seq,
             from: from.clone(),
             to: to.clone(),
-            msg,
+            msg: msg.clone(),
         }));
+        if duplicate {
+            let delay2 = self.rng.gen_range_in(lo, hi.max(lo + 1) * 2);
+            self.seq += 1;
+            self.queue.push(Reverse(Scheduled {
+                deliver_at: self.now + delay2,
+                seq: self.seq,
+                from: from.clone(),
+                to: to.clone(),
+                msg,
+            }));
+        }
     }
 
     /// Pops every message due at or before `t`, advancing time to `t`.
@@ -177,7 +215,7 @@ impl<M: Eq> SimNet<M> {
                 break;
             }
             let Reverse(s) = self.queue.pop().unwrap();
-            if self.crashed.contains(&s.to) || !self.can_communicate(&s.from, &s.to) {
+            if self.undeliverable(&s.to, &s.from) {
                 self.dropped += 1;
                 continue;
             }
@@ -208,9 +246,36 @@ impl<M: Eq> SimNet<M> {
         self.partition_groups = groups;
     }
 
-    /// Removes any partition.
+    /// Removes any partition and all one-way blocks.
     pub fn heal(&mut self) {
         self.partition_groups.clear();
+        self.blocked_links.clear();
+    }
+
+    /// Blocks the directed link `from → to` (asymmetric partition): `to`
+    /// stops hearing `from`, while the reverse direction still works.
+    pub fn block_link(&mut self, from: &NodeId, to: &NodeId) {
+        self.blocked_links.insert((from.clone(), to.clone()));
+    }
+
+    /// Unblocks a directed link.
+    pub fn unblock_link(&mut self, from: &NodeId, to: &NodeId) {
+        self.blocked_links.remove(&(from.clone(), to.clone()));
+    }
+
+    /// Sets the probability that a sent message is scheduled twice.
+    pub fn set_duplicate_probability(&mut self, p: f64) {
+        self.duplicate_probability = p.clamp(0.0, 1.0);
+    }
+
+    /// Sets the drop probability at runtime (lossy-window faults).
+    pub fn set_drop_probability(&mut self, p: f64) {
+        self.cfg.drop_probability = p.clamp(0.0, 1.0);
+    }
+
+    /// Sets the latency range at runtime (reordering widens the window).
+    pub fn set_latency(&mut self, lo: Time, hi: Time) {
+        self.cfg.latency = (lo, hi.max(lo + 1));
     }
 
     /// Draws from the simulation's RNG (for jitter decisions by harnesses,
@@ -219,10 +284,24 @@ impl<M: Eq> SimNet<M> {
         &mut self.rng
     }
 
-    /// Time of the next scheduled delivery, if any (lets harnesses skip
+    /// Time of the next *deliverable* message, if any (lets harnesses skip
     /// idle periods).
-    pub fn next_delivery_at(&self) -> Option<Time> {
-        self.queue.peek().map(|Reverse(s)| s.deliver_at)
+    ///
+    /// Messages whose recipient is crashed or partitioned away from the
+    /// sender would be dropped at delivery time anyway; reporting their
+    /// times here made harness `step()` loops busy-advance the clock
+    /// through traffic that could never arrive. Such heads are discarded
+    /// (and counted as dropped) until a deliverable one — or nothing — is
+    /// found.
+    pub fn next_delivery_at(&mut self) -> Option<Time> {
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if !self.undeliverable(&head.to, &head.from) {
+                return Some(head.deliver_at);
+            }
+            self.queue.pop();
+            self.dropped += 1;
+        }
+        None
     }
 }
 
@@ -321,5 +400,52 @@ mod tests {
         assert_eq!(net.next_delivery_at(), None);
         net.send(&n("a"), &n("b"), 1);
         assert_eq!(net.next_delivery_at(), Some(50));
+    }
+
+    #[test]
+    fn next_delivery_at_skips_undeliverable_heads() {
+        let mut net: SimNet<u32> = SimNet::new(NetConfig { latency: (10, 11), drop_probability: 0.0 }, 1);
+        net.send(&n("a"), &n("b"), 1);
+        net.advance_to(5);
+        net.send(&n("a"), &n("c"), 2); // due at 15, after the doomed head
+        net.crash(&n("b"));
+        // The head (a→b at 10) can never arrive; the next deliverable
+        // message is a→c at 15.
+        assert_eq!(net.next_delivery_at(), Some(15));
+        assert_eq!(net.dropped_count(), 1);
+        // And with everything undeliverable, report no pending work.
+        net.crash(&n("c"));
+        assert_eq!(net.next_delivery_at(), None);
+        assert_eq!(net.dropped_count(), 2);
+    }
+
+    #[test]
+    fn one_way_block_is_directional() {
+        let mut net: SimNet<u32> = SimNet::new(NetConfig::default(), 1);
+        net.block_link(&n("a"), &n("b"));
+        net.send(&n("a"), &n("b"), 1); // blocked direction
+        net.send(&n("b"), &n("a"), 2); // reverse still open
+        let d = net.deliveries_until(100);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].msg, 2);
+        assert_eq!(net.dropped_count(), 1);
+        // heal() clears one-way blocks too.
+        net.heal();
+        net.send(&n("a"), &n("b"), 3);
+        assert_eq!(net.deliveries_until(200).len(), 1);
+    }
+
+    #[test]
+    fn duplication_delivers_extra_copies() {
+        let mut net: SimNet<u32> = SimNet::new(NetConfig { latency: (1, 2), drop_probability: 0.0 }, 9);
+        net.set_duplicate_probability(1.0);
+        for i in 0..10 {
+            net.send(&n("a"), &n("b"), i);
+        }
+        let d = net.deliveries_until(100);
+        assert_eq!(d.len(), 20);
+        for i in 0..10 {
+            assert_eq!(d.iter().filter(|x| x.msg == i).count(), 2);
+        }
     }
 }

@@ -14,7 +14,15 @@ cargo test -q
 echo "== tier1: cargo bench --no-run"
 cargo bench --no-run -q
 
+echo "== tier1: replica hardening regressions (release)"
+# Two of the fixed bugs were debug_assert!s that compiled away under
+# --release; the regression tests must exercise the release path.
+cargo test -q --release -p ccf-consensus --test replica_hardening
+
+echo "== tier1: bounded chaos sweep (release, fixed seeds)"
+cargo run -q --release -p ccf-bench --bin chaos -- --seeds 25
+
 echo "== tier1: clippy -D warnings (touched crates)"
-cargo clippy -q -p ccf-crypto -p ccf-ledger -p ccf-core -p ccf-bench -- -D warnings
+cargo clippy -q -p ccf-crypto -p ccf-ledger -p ccf-sim -p ccf-consensus -p ccf-core -p ccf-bench -- -D warnings
 
 echo "== tier1: OK"

@@ -1,0 +1,40 @@
+//! Service-level chaos tests: the full stack (KV app, governance,
+//! rekey, joins, receipts) under seeded fault schedules, with safety
+//! invariants checked at every step.
+//!
+//! The wide sweep lives in the `chaos` bench binary; here a pinned seed
+//! range keeps CI bounded, and a determinism test guarantees any failing
+//! seed the sweep ever prints can be replayed bit-for-bit as a test.
+
+use ccf_core::chaos::run_service_chaos;
+use ccf_sim::nemesis::FaultSchedule;
+
+const HORIZON_MS: u64 = 8_000;
+const SCHEDULE_EVENTS: usize = 12;
+
+fn run_seed(seed: u64) -> ccf_consensus::chaos::ChaosReport {
+    let schedule = FaultSchedule::generate(seed, HORIZON_MS, SCHEDULE_EVENTS);
+    run_service_chaos(seed, &schedule, HORIZON_MS)
+}
+
+#[test]
+fn service_chaos_small_seed_range_holds_invariants() {
+    for seed in 0..6 {
+        let report = run_seed(seed);
+        assert!(
+            report.ok(),
+            "seed {seed} violated invariants: {:?}",
+            report.violations
+        );
+    }
+}
+
+#[test]
+fn service_chaos_is_deterministic() {
+    let a = run_seed(99);
+    let b = run_seed(99);
+    assert_eq!(a.steps, b.steps);
+    assert_eq!(a.max_commit, b.max_commit);
+    assert_eq!(a.proposals, b.proposals);
+    assert_eq!(a.faults_applied, b.faults_applied);
+}
