@@ -113,6 +113,10 @@ fn main() {
     let mut failures = 0u64;
     let mut total_commits = 0u64;
     let mut total_faults = 0usize;
+    // Last passing seed's metrics per harness: the baseline for the
+    // per-seed diff printed when an invariant trips, and the per-run
+    // OBS_chaos.json artifact at the end of the sweep.
+    let mut last_pass_metrics: Option<ccf_obs::Snapshot> = None;
     let wall = std::time::Instant::now();
     for &(harness, h_ms, n_events) in &harnesses {
         let mut virt_ms = 0u64;
@@ -132,6 +136,7 @@ fn main() {
                             report.faults_applied
                         );
                     }
+                    last_pass_metrics = Some(report.metrics);
                 }
                 outcome => {
                     failures += 1;
@@ -143,6 +148,17 @@ fn main() {
                             );
                             for v in &report.violations {
                                 println!("    {v}");
+                            }
+                            if let Some(baseline) = &last_pass_metrics {
+                                let diff = report.metrics.diff_counters(baseline);
+                                if !diff.is_empty() {
+                                    println!(
+                                        "  metrics diff vs last passing seed (failing / passing):"
+                                    );
+                                    for (name, a, b) in diff {
+                                        println!("    {name}: {a} / {b}");
+                                    }
+                                }
                             }
                         }
                         Outcome::Panic(msg) => {
@@ -176,6 +192,9 @@ fn main() {
         );
     }
     std::panic::set_hook(default_hook);
+    if let Some(metrics) = &last_pass_metrics {
+        ccf_bench::write_obs("chaos", metrics);
+    }
     println!(
         "swept {} seeds ({} harnesses) in {:.1}s: {} commits, {} faults, {} failures",
         seed_range.len(),

@@ -80,6 +80,9 @@ fn main() {
             bar(totals[i], tmax, 40)
         );
     }
+    if let Some(obs) = cluster.obs() {
+        ccf_bench::write_obs("fig7", &obs.snapshot());
+    }
     cluster.stop();
 
     // ---- Shape checks (the paper's qualitative claims) ----

@@ -83,12 +83,17 @@ fn main() {
     );
     let intervals = [1u64, 2, 5, 10, 50, 100, 500, 1000];
     let mut rates = Vec::new();
+    let mut last_obs = None;
     for (i, &interval) in intervals.iter().enumerate() {
         let cluster = start_rt(bench_opts(1, 900 + i as u64), logging_app());
         cluster.primary().unwrap().set_signature_policy(interval, 0);
         let t = measure(&cluster, 4, duration, 0.0, 7);
+        last_obs = cluster.obs().map(|r| r.snapshot());
         cluster.stop();
         rates.push(t.writes_per_sec);
+    }
+    if let Some(snapshot) = &last_obs {
+        ccf_bench::write_obs("fig8", snapshot);
     }
     let rmax = rates.iter().cloned().fold(0.0, f64::max);
     println!("{:>10} | {:>10} |", "interval", "writes/s");

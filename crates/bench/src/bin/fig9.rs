@@ -199,6 +199,8 @@ fn main() {
         println!("  public:ccf.gov.proposals_info[p3] = {}", String::from_utf8_lossy(&info));
     }
 
+    ccf_bench::write_obs("fig9", &service.obs().snapshot());
+
     // ---- Shape checks ----
     println!("\nshape checks:");
     let kill_bucket = (kill_at / BUCKET_MS) as usize;

@@ -234,3 +234,15 @@ pub fn bar(value: f64, max: f64, width: usize) -> String {
     let n = if max > 0.0 { ((value / max) * width as f64).round() as usize } else { 0 };
     "█".repeat(n.min(width))
 }
+
+/// Writes an observability snapshot to `OBS_<name>.json` in the current
+/// directory (a generated artifact — gitignored) and returns the path.
+/// Failures are reported but not fatal: metrics never break a bench run.
+pub fn write_obs(name: &str, snapshot: &ccf_obs::Snapshot) -> std::path::PathBuf {
+    let path = std::path::PathBuf::from(format!("OBS_{name}.json"));
+    match std::fs::write(&path, snapshot.to_json()) {
+        Ok(()) => println!("metrics snapshot written to {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+    path
+}

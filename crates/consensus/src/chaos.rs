@@ -28,6 +28,9 @@ pub struct ChaosReport {
     pub faults_applied: usize,
     /// Invariant violations (empty = run passed).
     pub violations: Vec<Violation>,
+    /// End-of-run observability snapshot (deterministic in the seed:
+    /// same-seed runs produce `==` snapshots and byte-identical JSON).
+    pub metrics: ccf_obs::Snapshot,
 }
 
 impl ChaosReport {
@@ -69,6 +72,7 @@ pub fn run_consensus_chaos(seed: u64, schedule: &FaultSchedule, horizon: Time) -
         proposals: 0,
         faults_applied: 0,
         violations: Vec::new(),
+        metrics: ccf_obs::Snapshot::default(),
     };
     let mut next_event = 0;
     let mut added_nodes: u64 = 0;
@@ -97,6 +101,7 @@ pub fn run_consensus_chaos(seed: u64, schedule: &FaultSchedule, horizon: Time) -
     if report.violations.is_empty() {
         report.violations = checker.violations().to_vec();
     }
+    report.metrics = cluster.obs().snapshot();
     report
 }
 
@@ -199,5 +204,23 @@ fn apply_op(cluster: &mut Cluster, op: &NemesisOp, report: &mut ChaosReport, add
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_runs_produce_identical_metrics_snapshots() {
+        let schedule = FaultSchedule::generate(11, 5_000, 10);
+        let a = run_consensus_chaos(11, &schedule, 5_000);
+        let b = run_consensus_chaos(11, &schedule, 5_000);
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.metrics.to_json(), b.metrics.to_json());
+        // And the run actually exercised the instrumented paths.
+        let commits = a.metrics.counters.get("consensus.commits").copied().unwrap_or(0);
+        assert!(commits > 0, "chaos run produced no commits: {:?}", a.metrics.counters);
+        assert!(a.metrics.counters.get("net.messages_sent").copied().unwrap_or(0) > 0);
     }
 }

@@ -111,12 +111,14 @@ pub struct Cluster {
     tick_ms: u64,
     seed: u64,
     next_node_seed: u64,
+    obs: ccf_obs::Registry,
 }
 
 impl Cluster {
     /// Creates a cluster of `n` nodes (`n0`..`n{n-1}`) with the given
     /// consensus config, network behaviour, and seed.
     pub fn new(n: usize, cfg: ReplicaConfig, net_cfg: NetConfig, seed: u64) -> Cluster {
+        let obs = ccf_obs::Registry::new();
         let ids: Vec<NodeId> = (0..n).map(|i| format!("n{i}")).collect();
         let initial: Config = ids.iter().cloned().collect();
         let mut replicas = BTreeMap::new();
@@ -125,26 +127,35 @@ impl Cluster {
                 ccf_crypto::sha2::sha256(format!("node-key-{seed}-{i}").as_bytes()),
             );
             let factory = KeyedSignatureFactory::new(id.clone(), key);
-            replicas.insert(
-                id.clone(),
-                Replica::new(id.clone(), initial.clone(), cfg.clone(), seed * 1000 + i as u64, factory),
-            );
+            let mut replica =
+                Replica::new(id.clone(), initial.clone(), cfg.clone(), seed * 1000 + i as u64, factory);
+            replica.set_registry(&obs);
+            replicas.insert(id.clone(), replica);
         }
+        let mut net = SimNet::new(net_cfg, seed);
+        net.set_registry(&obs);
         Cluster {
             replicas,
-            net: SimNet::new(net_cfg, seed),
+            net,
             events: BTreeMap::new(),
             crashed: HashSet::new(),
             now: 0,
             tick_ms: 1,
             seed,
             next_node_seed: n as u64,
+            obs,
         }
     }
 
     /// Current virtual time (ms).
     pub fn now(&self) -> u64 {
         self.now
+    }
+
+    /// The observability registry shared by every replica and the
+    /// network. Snapshot it to see where a run spent its virtual time.
+    pub fn obs(&self) -> &ccf_obs::Registry {
+        &self.obs
     }
 
     /// Adds a fresh (PENDING) node, optionally bootstrapped from a
@@ -168,6 +179,7 @@ impl Cluster {
             factory,
             snapshot,
         );
+        replica.set_registry(&self.obs);
         replica.tick(self.now);
         self.replicas.insert(id.clone(), replica);
         id
@@ -177,6 +189,7 @@ impl Cluster {
     /// replicas, flush outboxes.
     pub fn step(&mut self) {
         self.now += self.tick_ms;
+        self.obs.set_now(self.now);
         for d in self.net.deliveries_until(self.now) {
             if self.crashed.contains(&d.to) {
                 continue;

@@ -151,6 +151,54 @@ impl std::fmt::Display for ProposeError {
     }
 }
 
+/// Histogram bounds for append-entries batch sizes (max_batch ≤ 256 in
+/// every config used here).
+const BATCH_BUCKETS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128, 256];
+/// Histogram bounds for rollback depths (entries discarded per rollback).
+const ROLLBACK_BUCKETS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128];
+
+/// Cached observability handles (`consensus.*`); created once by
+/// [`Replica::set_registry`] so hot-path increments are lock-free.
+struct ReplicaMetrics {
+    reg: ccf_obs::Registry,
+    elections_started: ccf_obs::Counter,
+    elections_won: ccf_obs::Counter,
+    append_batches: ccf_obs::Counter,
+    append_batch_entries: ccf_obs::Histogram,
+    signature_txs: ccf_obs::Counter,
+    commits: ccf_obs::Counter,
+    commit_seqno: ccf_obs::Gauge,
+    retransmits: ccf_obs::Counter,
+    negative_acks: ccf_obs::Counter,
+    rollbacks: ccf_obs::Counter,
+    rollback_entries: ccf_obs::Histogram,
+    invariant_rejections: ccf_obs::Counter,
+    snapshots_sent: ccf_obs::Counter,
+    snapshots_installed: ccf_obs::Counter,
+}
+
+impl ReplicaMetrics {
+    fn new(reg: &ccf_obs::Registry) -> ReplicaMetrics {
+        ReplicaMetrics {
+            reg: reg.clone(),
+            elections_started: reg.counter("consensus.elections_started"),
+            elections_won: reg.counter("consensus.elections_won"),
+            append_batches: reg.counter("consensus.append_batches"),
+            append_batch_entries: reg.histogram("consensus.append_batch_entries", BATCH_BUCKETS),
+            signature_txs: reg.counter("consensus.signature_txs"),
+            commits: reg.counter("consensus.commits"),
+            commit_seqno: reg.gauge("consensus.commit_seqno"),
+            retransmits: reg.counter("consensus.retransmits"),
+            negative_acks: reg.counter("consensus.negative_acks"),
+            rollbacks: reg.counter("consensus.rollbacks"),
+            rollback_entries: reg.histogram("consensus.rollback_entries", ROLLBACK_BUCKETS),
+            invariant_rejections: reg.counter("consensus.invariant_rejections"),
+            snapshots_sent: reg.counter("consensus.snapshots_sent"),
+            snapshots_installed: reg.counter("consensus.snapshots_installed"),
+        }
+    }
+}
+
 /// The consensus replica.
 pub struct Replica<F: SignatureFactory> {
     id: NodeId,
@@ -192,6 +240,12 @@ pub struct Replica<F: SignatureFactory> {
 
     outbox: Vec<(NodeId, Message)>,
     events: Vec<Event>,
+
+    metrics: Option<ReplicaMetrics>,
+    /// In-flight election span: opened at `start_election`, recorded at
+    /// `become_primary` (so the duration covers winning elections only;
+    /// lost candidacies just drop the token).
+    election_span: Option<ccf_obs::SpanToken>,
 }
 
 impl<F: SignatureFactory> Replica<F> {
@@ -236,9 +290,19 @@ impl<F: SignatureFactory> Replica<F> {
             last_sig_emit: 0,
         outbox: Vec::new(),
             events: Vec::new(),
+            metrics: None,
+            election_span: None,
         };
         r.reset_election_timer();
         r
+    }
+
+    /// Attaches observability handles (`consensus.*`, plus the Merkle
+    /// tree's `ledger.merkle_*`) from `reg`. Without this the replica
+    /// records nothing.
+    pub fn set_registry(&mut self, reg: &ccf_obs::Registry) {
+        self.merkle.set_registry(reg);
+        self.metrics = Some(ReplicaMetrics::new(reg));
     }
 
     /// Creates a joining replica (status PENDING until a reconfiguration
@@ -563,6 +627,9 @@ impl<F: SignatureFactory> Replica<F> {
         if self.unsigned_since_sig == 0 {
             return; // last entry is already a signature
         }
+        if let Some(m) = &self.metrics {
+            m.signature_txs.inc();
+        }
         self.last_sig_emit = self.now;
         let txid = TxId::new(self.view, self.last_seqno() + 1);
         let root = self.merkle.root();
@@ -654,6 +721,9 @@ impl<F: SignatureFactory> Replica<F> {
         if next <= self.base_seqno {
             // The peer needs entries we no longer retain: offer a snapshot.
             if let Some(snapshot) = &self.latest_snapshot {
+                if let Some(m) = &self.metrics {
+                    m.snapshots_sent.inc();
+                }
                 self.outbox.push((
                     peer.clone(),
                     Message::InstallSnapshot(InstallSnapshot {
@@ -674,6 +744,10 @@ impl<F: SignatureFactory> Replica<F> {
         let from_idx = (next - self.base_seqno - 1) as usize;
         let to_idx = (from_idx + self.cfg.max_batch).min(self.ledger.len());
         let entries = self.ledger[from_idx..to_idx].to_vec();
+        if let Some(m) = &self.metrics {
+            m.append_batches.inc();
+            m.append_batch_entries.observe(entries.len() as u64);
+        }
         self.outbox.push((
             peer.clone(),
             Message::AppendEntries(AppendEntries {
@@ -737,10 +811,21 @@ impl<F: SignatureFactory> Replica<F> {
         true
     }
 
+    /// Records a commit advancement in the metrics (counter + high-water
+    /// gauge; the gauge is shared by every replica on the registry, so it
+    /// tracks the cluster-wide maximum).
+    fn note_commit(&self, seqno: Seqno) {
+        if let Some(m) = &self.metrics {
+            m.commits.inc();
+            m.commit_seqno.fetch_max(seqno);
+        }
+    }
+
     fn advance_commit(&mut self, seqno: Seqno) {
         debug_assert!(seqno > self.commit_seqno);
         debug_assert!(seqno <= self.last_seqno());
         self.commit_seqno = seqno;
+        self.note_commit(seqno);
         self.events.push(Event::Committed { seqno });
         // §4.5: retirement commits when the node was in the current
         // configuration and a newly committed reconfiguration excludes it.
@@ -779,6 +864,10 @@ impl<F: SignatureFactory> Replica<F> {
     // ------------------------------------------------------------------
 
     fn start_election(&mut self) {
+        if let Some(m) = &self.metrics {
+            m.elections_started.inc();
+            self.election_span = Some(m.reg.span_enter("consensus.election"));
+        }
         self.role = Role::Candidate;
         self.view += 1;
         self.voted_for = Some(self.id.clone());
@@ -813,6 +902,12 @@ impl<F: SignatureFactory> Replica<F> {
     }
 
     fn become_primary(&mut self) {
+        if let Some(m) = &self.metrics {
+            m.elections_won.inc();
+            if let Some(span) = self.election_span.take() {
+                m.reg.span_exit(span);
+            }
+        }
         // Discard everything after the last signature transaction (§4.2).
         self.truncate_to(self.last_sig.seqno.max(self.commit_seqno));
         self.role = Role::Primary;
@@ -835,6 +930,8 @@ impl<F: SignatureFactory> Replica<F> {
     }
 
     fn become_backup(&mut self, view: View, _reason: &str) {
+        // A candidacy that did not win leaves no span record.
+        self.election_span = None;
         let was_leaderish = matches!(self.role, Role::Primary | Role::Candidate | Role::Retiring);
         if view > self.view {
             self.view = view;
@@ -856,6 +953,9 @@ impl<F: SignatureFactory> Replica<F> {
     /// hold in release builds, not only under `debug_assert!`.
     fn truncate_to(&mut self, seqno: Seqno) -> bool {
         if seqno < self.commit_seqno {
+            if let Some(m) = &self.metrics {
+                m.invariant_rejections.inc();
+            }
             self.events.push(Event::InvariantRejected {
                 reason: format!(
                     "truncate to {seqno} would roll back committed prefix {}",
@@ -866,6 +966,10 @@ impl<F: SignatureFactory> Replica<F> {
         }
         if seqno >= self.last_seqno() {
             return true;
+        }
+        if let Some(m) = &self.metrics {
+            m.rollbacks.inc();
+            m.rollback_entries.observe(self.last_seqno() - seqno);
         }
         self.ledger.truncate((seqno - self.base_seqno) as usize);
         self.merkle.truncate(seqno);
@@ -985,6 +1089,9 @@ impl<F: SignatureFactory> Replica<F> {
                     // what we committed. Refuse the whole message (§4.1);
                     // truncate_to would also refuse, but rejecting here
                     // records the violation before touching any state.
+                    if let Some(m) = &self.metrics {
+                        m.invariant_rejections.inc();
+                    }
                     self.events.push(Event::InvariantRejected {
                         reason: format!(
                             "append entries from {from} conflict at {s} below commit {}",
@@ -1069,6 +1176,7 @@ impl<F: SignatureFactory> Replica<F> {
     /// path, without the quorum search.
     fn advance_commit_backup(&mut self, seqno: Seqno) {
         self.commit_seqno = seqno;
+        self.note_commit(seqno);
         self.events.push(Event::Committed { seqno });
         let was_in_current = self
             .active_configs
@@ -1114,6 +1222,10 @@ impl<F: SignatureFactory> Replica<F> {
                 self.send_entries_to(&m.from.clone());
             }
         } else {
+            if let Some(mm) = &self.metrics {
+                mm.negative_acks.inc();
+                mm.retransmits.inc();
+            }
             // Jump straight to the peer's hint (§4.2) — in either
             // direction. The hint is the peer's last matching seqno (or
             // its snapshot base), so `hint + 1` is the exact next entry it
@@ -1193,6 +1305,7 @@ impl<F: SignatureFactory> Replica<F> {
         let commit = m.commit_seqno.min(self.last_seqno());
         if commit > self.commit_seqno {
             self.commit_seqno = commit;
+            self.note_commit(commit);
             self.events.push(Event::Committed { seqno: commit });
         }
         self.outbox.push((
@@ -1211,6 +1324,11 @@ impl<F: SignatureFactory> Replica<F> {
         self.base_seqno = snapshot.last_txid.seqno;
         self.base_txid = snapshot.last_txid;
         self.merkle = MerkleTree::new();
+        if let Some(m) = &self.metrics {
+            m.snapshots_installed.inc();
+            // The fresh tree must keep reporting into the same registry.
+            self.merkle.set_registry(&m.reg);
+        }
         for leaf in &snapshot.merkle_leaves {
             self.merkle.append_digest(*leaf);
         }
@@ -1236,6 +1354,7 @@ impl<F: SignatureFactory> Replica<F> {
         }
         self.events.push(Event::SnapshotInstalled { snapshot });
         if at_boot && self.commit_seqno > 0 {
+            self.note_commit(self.commit_seqno);
             self.events.push(Event::Committed { seqno: self.commit_seqno });
         }
     }

@@ -298,6 +298,7 @@ pub fn run_service_chaos(seed: u64, schedule: &FaultSchedule, horizon: Time) -> 
         proposals: 0,
         faults_applied: 0,
         violations: Vec::new(),
+        metrics: ccf_obs::Snapshot::default(),
     };
     let mut next_event = 0;
 
@@ -326,5 +327,6 @@ pub fn run_service_chaos(seed: u64, schedule: &FaultSchedule, horizon: Time) -> 
     report
         .violations
         .extend(chaos.checker.violations().iter().cloned());
+    report.metrics = chaos.service.obs().snapshot();
     report
 }

@@ -61,6 +61,10 @@ pub struct NodeOpts {
     pub snapshot_interval: u64,
     /// Max OCC retries before giving up on a conflicted request.
     pub max_occ_retries: u32,
+    /// Observability registry the node reports into. Nodes of one
+    /// service share a registry (cluster-wide counters); the default is
+    /// a fresh private one.
+    pub obs: ccf_obs::Registry,
 }
 
 impl Default for NodeOpts {
@@ -72,6 +76,57 @@ impl Default for NodeOpts {
             seed: 0,
             snapshot_interval: 0,
             max_occ_retries: 8,
+            obs: ccf_obs::Registry::new(),
+        }
+    }
+}
+
+/// Histogram buckets for signed-request batch sizes (powers of two up to
+/// the service-level burst sizes the harnesses generate).
+const VERIFY_BATCH_BUCKETS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128, 256];
+/// Histogram buckets for the virtual-ms gap between consecutive ticks.
+const TICK_GAP_BUCKETS: &[u64] = &[1, 2, 5, 10, 20, 50, 100];
+
+/// Cached metric handles for the node's hot paths (the `node.*`,
+/// `crypto.*` and `ledger.encrypted_bytes` series; DESIGN.md §10).
+struct NodeMetrics {
+    reg: ccf_obs::Registry,
+    ticks: ccf_obs::Counter,
+    tick_gap_ms: ccf_obs::Histogram,
+    last_tick_ms: std::sync::atomic::AtomicU64,
+    signed_batches: ccf_obs::Counter,
+    signed_queue_depth: ccf_obs::Gauge,
+    batch_verify_size: ccf_obs::Histogram,
+    leader_forwards: ccf_obs::Counter,
+    entries_applied: ccf_obs::Counter,
+    commit_events: ccf_obs::Counter,
+    rollback_events: ccf_obs::Counter,
+    snapshot_installs: ccf_obs::Counter,
+    encrypted_bytes: ccf_obs::Counter,
+    batch_verifies: ccf_obs::Counter,
+    batch_verify_sigs: ccf_obs::Counter,
+    single_verifies: ccf_obs::Counter,
+}
+
+impl NodeMetrics {
+    fn new(reg: &ccf_obs::Registry) -> NodeMetrics {
+        NodeMetrics {
+            reg: reg.clone(),
+            ticks: reg.counter("node.ticks"),
+            tick_gap_ms: reg.histogram("node.tick_gap_ms", TICK_GAP_BUCKETS),
+            last_tick_ms: std::sync::atomic::AtomicU64::new(0),
+            signed_batches: reg.counter("node.signed_batches"),
+            signed_queue_depth: reg.gauge("node.signed_queue_depth"),
+            batch_verify_size: reg.histogram("node.batch_verify_size", VERIFY_BATCH_BUCKETS),
+            leader_forwards: reg.counter("node.leader_forwards"),
+            entries_applied: reg.counter("node.entries_applied"),
+            commit_events: reg.counter("node.commit_events"),
+            rollback_events: reg.counter("node.rollback_events"),
+            snapshot_installs: reg.counter("node.snapshot_installs"),
+            encrypted_bytes: reg.counter("ledger.encrypted_bytes"),
+            batch_verifies: reg.counter("crypto.ed25519_batch_verifies"),
+            batch_verify_sigs: reg.counter("crypto.ed25519_batch_sigs"),
+            single_verifies: reg.counter("crypto.ed25519_single_verifies"),
         }
     }
 }
@@ -160,6 +215,7 @@ pub struct CcfNode {
     node_key: SigningKey,
     dh_key: DhKeyPair,
     code_id: CodeId,
+    metrics: NodeMetrics,
 }
 
 impl CcfNode {
@@ -170,13 +226,15 @@ impl CcfNode {
         let dh_key = DhKeyPair::generate(&mut rng);
         let code_id = CodeId::measure(app.code_version.as_bytes());
         let factory = KeyedSignatureFactory::new(opts.id.clone(), node_key.clone());
-        let replica = Replica::new(
+        let mut replica = Replica::new(
             opts.id.clone(),
             [opts.id.clone()].into_iter().collect(),
             opts.consensus.clone(),
             opts.seed,
             factory,
         );
+        replica.set_registry(&opts.obs);
+        let metrics = NodeMetrics::new(&opts.obs);
         Arc::new(CcfNode {
             id: opts.id.clone(),
             app,
@@ -210,6 +268,7 @@ impl CcfNode {
             node_key,
             dh_key,
             code_id,
+            metrics,
             opts,
         })
     }
@@ -226,13 +285,15 @@ impl CcfNode {
         let dh_key = DhKeyPair::generate(&mut rng);
         let code_id = CodeId::measure(app.code_version.as_bytes());
         let factory = KeyedSignatureFactory::new(opts.id.clone(), node_key.clone());
-        let replica = Replica::join(
+        let mut replica = Replica::join(
             opts.id.clone(),
             opts.consensus.clone(),
             opts.seed,
             factory,
             snapshot,
         );
+        replica.set_registry(&opts.obs);
+        let metrics = NodeMetrics::new(&opts.obs);
         let node = Arc::new(CcfNode {
             id: opts.id.clone(),
             app,
@@ -266,6 +327,7 @@ impl CcfNode {
             node_key,
             dh_key,
             code_id,
+            metrics,
             opts,
         });
         // Process the boot snapshot events (install kv state).
@@ -455,16 +517,19 @@ impl CcfNode {
         } else {
             EntryKind::User
         };
+        let encrypted_bytes = self.metrics.encrypted_bytes.clone();
         let txid = inner.replica.propose(|txid| {
             let public_bytes = if public_ws.is_empty() { Vec::new() } else { public_ws.encode() };
             let private_bytes = if private_ws.is_empty() {
                 Vec::new()
             } else {
                 let plain = private_ws.encode();
-                secrets
+                let ct = secrets
                     .as_ref()
                     .expect("cannot write private maps before secrets are installed")
-                    .encrypt(txid, &sha256(&public_bytes), &plain)
+                    .encrypt(txid, &sha256(&public_bytes), &plain);
+                encrypted_bytes.add(ct.len() as u64);
+                ct
             };
             ReplicatedEntry {
                 entry: LedgerEntry {
@@ -544,10 +609,20 @@ impl CcfNode {
         }
         for event in events {
             match event {
-                Event::Appended { entry } => self.on_appended(inner, entry),
-                Event::Committed { seqno } => self.on_committed(inner, seqno),
-                Event::RolledBack { seqno } => self.on_rolled_back(inner, seqno),
+                Event::Appended { entry } => {
+                    self.metrics.entries_applied.inc();
+                    self.on_appended(inner, entry)
+                }
+                Event::Committed { seqno } => {
+                    self.metrics.commit_events.inc();
+                    self.on_committed(inner, seqno)
+                }
+                Event::RolledBack { seqno } => {
+                    self.metrics.rollback_events.inc();
+                    self.on_rolled_back(inner, seqno)
+                }
                 Event::SnapshotInstalled { snapshot } => {
+                    self.metrics.snapshot_installs.inc();
                     let state = StoreState::deserialize(&snapshot.kv_state)
                         .expect("snapshot kv state must deserialize");
                     inner.last_applied = snapshot.last_txid;
@@ -827,6 +902,13 @@ impl CcfNode {
     /// requests queued since the last tick are drained first, as one
     /// batch-verified round.
     pub fn tick(&self, now_ms: u64) -> Vec<(NodeId, Message)> {
+        use std::sync::atomic::Ordering;
+        self.metrics.reg.set_now(now_ms);
+        self.metrics.ticks.inc();
+        let prev = self.metrics.last_tick_ms.swap(now_ms, Ordering::Relaxed);
+        if prev > 0 && now_ms > prev {
+            self.metrics.tick_gap_ms.observe(now_ms - prev);
+        }
         self.drain_signed_requests();
         let mut inner = self.inner.lock();
         inner.replica.tick(now_ms);
@@ -1132,6 +1214,7 @@ impl CcfNode {
                             let hint = hint
                                 .or_else(|| inner.replica.leader_hint().cloned())
                                 .unwrap_or_default();
+                            self.metrics.leader_forwards.inc();
                             return Response {
                                 status: 307,
                                 body: hint.into_bytes(),
@@ -1238,6 +1321,7 @@ impl CcfNode {
         let mut inner = self.inner.lock();
         if !inner.replica.is_primary() {
             let hint = inner.replica.leader_hint().cloned().unwrap_or_default();
+            self.metrics.leader_forwards.inc();
             return Response { status: 307, body: hint.into_bytes(), txid: None };
         }
         let mut tx = self.store.begin();
@@ -1394,6 +1478,12 @@ impl CcfNode {
         self.app.clone()
     }
 
+    /// The observability registry this node reports into (shared with the
+    /// rest of its service when started through [`crate::service`]).
+    pub fn obs(&self) -> &ccf_obs::Registry {
+        &self.metrics.reg
+    }
+
     /// Handles a *signed* user request (§6.4: "optional support for user
     /// request signing, via the same mechanism that consortium members
     /// sign governance operations"). The envelope's purpose must be
@@ -1402,6 +1492,7 @@ impl CcfNode {
     /// cryptographic — no transport identity needed — and the envelope is
     /// replay-bound to the method+path.
     pub fn handle_signed_user_request(&self, envelope: &SignedRequest) -> Response {
+        self.metrics.single_verifies.inc();
         if envelope.verify().is_err() {
             return Response::error(401, "invalid request signature");
         }
@@ -1422,10 +1513,16 @@ impl CcfNode {
             .map(|(e, m)| (m.as_slice(), &e.signature, &e.signer))
             .collect();
         let all_valid = ccf_crypto::verify_batch(&triples).is_ok();
+        self.metrics.batch_verifies.inc();
+        self.metrics.batch_verify_sigs.add(envelopes.len() as u64);
         envelopes
             .iter()
             .map(|envelope| {
-                if all_valid || envelope.verify().is_ok() {
+                let valid = all_valid || {
+                    self.metrics.single_verifies.inc();
+                    envelope.verify().is_ok()
+                };
+                if valid {
                     self.dispatch_signed_user_request(envelope)
                 } else {
                     Response::error(401, "invalid request signature")
@@ -1459,13 +1556,18 @@ impl CcfNode {
     fn drain_signed_requests(&self) {
         let batch = {
             let mut inner = self.inner.lock();
+            self.metrics.signed_queue_depth.set(inner.signed_request_queue.len() as u64);
             if inner.signed_request_queue.is_empty() {
                 return;
             }
             std::mem::take(&mut inner.signed_request_queue)
         };
         let (tickets, envelopes): (Vec<u64>, Vec<SignedRequest>) = batch.into_iter().unzip();
+        self.metrics.signed_batches.inc();
+        self.metrics.batch_verify_size.observe(envelopes.len() as u64);
+        let span = self.metrics.reg.span_enter("node.signed_batch");
         let responses = self.handle_signed_user_requests(&envelopes);
+        self.metrics.reg.span_exit(span);
         let mut inner = self.inner.lock();
         for (ticket, resp) in tickets.into_iter().zip(responses) {
             inner.signed_request_responses.insert(ticket, resp);

@@ -99,6 +99,12 @@ impl RtCluster {
         self.nodes.values().find(|n| !n.is_primary()).cloned()
     }
 
+    /// The observability registry the cluster reports into (the service's
+    /// shared registry, carried over by [`RtCluster::from_service`]).
+    pub fn obs(&self) -> Option<ccf_obs::Registry> {
+        self.nodes.values().next().map(|n| n.obs().clone())
+    }
+
     /// Stops the replication threads.
     pub fn stop(mut self) {
         self.stop.store(true, Ordering::Relaxed);

@@ -108,6 +108,9 @@ pub struct ServiceCluster {
     next_session: u64,
     service_identity: Option<VerifyingKey>,
     next_seed: u64,
+    /// Shared observability registry: every node, the network, and the
+    /// virtual clock report into this one registry.
+    obs: ccf_obs::Registry,
 }
 
 impl ServiceCluster {
@@ -132,6 +135,7 @@ impl ServiceCluster {
             .map(|i| (format!("user{i}"), format!("cert-user{i}")))
             .collect();
 
+        let obs = ccf_obs::Registry::new();
         let start_node = CcfNode::new_start_node(
             NodeOpts {
                 id: "n0".to_string(),
@@ -140,12 +144,15 @@ impl ServiceCluster {
                 seed: opts.seed * 100,
                 snapshot_interval: opts.snapshot_interval,
                 max_occ_retries: 8,
+                obs: obs.clone(),
             },
             app.clone(),
         );
+        let mut net = SimNet::new(opts.net.clone(), opts.seed);
+        net.set_registry(&obs);
         let mut cluster = ServiceCluster {
             nodes: BTreeMap::from([(start_node.id.clone(), start_node.clone())]),
-            net: SimNet::new(opts.net.clone(), opts.seed),
+            net,
             members,
             app: app.clone(),
             opts_consensus: opts.consensus.clone(),
@@ -157,6 +164,7 @@ impl ServiceCluster {
             next_session: 0,
             service_identity: None,
             next_seed: 1,
+            obs,
         };
         // Single node elects itself…
         assert!(
@@ -192,6 +200,12 @@ impl ServiceCluster {
         &self.app
     }
 
+    /// The service-wide observability registry (shared by every node,
+    /// the simulated network, and the virtual clock).
+    pub fn obs(&self) -> &ccf_obs::Registry {
+        &self.obs
+    }
+
     /// Assembles a cluster around a single already-configured node — the
     /// disaster-recovery path ([`crate::recovery::restart_service`]),
     /// where the node boots from a recovered snapshot rather than genesis.
@@ -202,9 +216,12 @@ impl ServiceCluster {
     ) -> ServiceCluster {
         let app = node.app_handle();
         let service_identity = node.service_identity();
+        let obs = node.obs().clone();
+        let mut net = SimNet::new(NetConfig::default(), seed);
+        net.set_registry(&obs);
         ServiceCluster {
             nodes: BTreeMap::from([(node.id.clone(), node)]),
-            net: SimNet::new(NetConfig::default(), seed),
+            net,
             members,
             app,
             opts_consensus: ReplicaConfig::default(),
@@ -216,6 +233,7 @@ impl ServiceCluster {
             next_session: 0,
             service_identity,
             next_seed: 1,
+            obs,
         }
     }
 
@@ -250,6 +268,7 @@ impl ServiceCluster {
                 seed: self.next_seed * 7919,
                 snapshot_interval: self.snapshot_interval,
                 max_occ_retries: 8,
+                obs: self.obs.clone(),
             },
             self.app.clone(),
             snapshot,
@@ -296,6 +315,7 @@ impl ServiceCluster {
     /// One millisecond of virtual time.
     pub fn step(&mut self) {
         self.now += 1;
+        self.obs.set_now(self.now);
         for d in self.net.deliveries_until(self.now) {
             if self.crashed.contains(&d.to) {
                 continue;

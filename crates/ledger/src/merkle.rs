@@ -123,6 +123,28 @@ struct Peak {
     root: Digest32,
 }
 
+/// Cached observability handles (`ledger.merkle_*`). Clones share the
+/// underlying counters, so a cloned tree (snapshots, rollback probes)
+/// keeps reporting into the same registry.
+#[derive(Clone, Debug)]
+struct MerkleMetrics {
+    appends: ccf_obs::Counter,
+    root_cache_hits: ccf_obs::Counter,
+    root_cache_misses: ccf_obs::Counter,
+    truncations: ccf_obs::Counter,
+}
+
+impl MerkleMetrics {
+    fn new(reg: &ccf_obs::Registry) -> MerkleMetrics {
+        MerkleMetrics {
+            appends: reg.counter("ledger.merkle_appends"),
+            root_cache_hits: reg.counter("ledger.merkle_root_cache_hits"),
+            root_cache_misses: reg.counter("ledger.merkle_root_cache_misses"),
+            truncations: reg.counter("ledger.merkle_truncations"),
+        }
+    }
+}
+
 /// The incremental Merkle tree.
 ///
 /// The root is cached between appends: folding the peak stack costs
@@ -139,12 +161,19 @@ pub struct MerkleTree {
     leaves: Vec<Digest32>,
     peaks: Vec<Peak>,
     cached_root: Cell<Option<Digest32>>,
+    metrics: Option<MerkleMetrics>,
 }
 
 impl MerkleTree {
     /// An empty tree.
     pub fn new() -> MerkleTree {
         MerkleTree::default()
+    }
+
+    /// Attaches observability counters (`ledger.merkle_*`) from `reg`.
+    /// Without this the tree records nothing.
+    pub fn set_registry(&mut self, reg: &ccf_obs::Registry) {
+        self.metrics = Some(MerkleMetrics::new(reg));
     }
 
     /// Number of leaves.
@@ -164,6 +193,9 @@ impl MerkleTree {
 
     /// Appends a precomputed leaf digest.
     pub fn append_digest(&mut self, digest: Digest32) {
+        if let Some(m) = &self.metrics {
+            m.appends.inc();
+        }
         self.cached_root.set(None);
         self.leaves.push(digest);
         self.merge_peak(digest);
@@ -188,9 +220,13 @@ impl MerkleTree {
         let digests = digests.into_iter();
         let (lower, _) = digests.size_hint();
         self.leaves.reserve(lower);
+        let before = self.leaves.len();
         for digest in digests {
             self.leaves.push(digest);
             self.merge_peak(digest);
+        }
+        if let Some(m) = &self.metrics {
+            m.appends.add((self.leaves.len() - before) as u64);
         }
     }
 
@@ -220,7 +256,13 @@ impl MerkleTree {
     /// free.
     pub fn root(&self) -> Digest32 {
         if let Some(root) = self.cached_root.get() {
+            if let Some(m) = &self.metrics {
+                m.root_cache_hits.inc();
+            }
             return root;
+        }
+        if let Some(m) = &self.metrics {
+            m.root_cache_misses.inc();
         }
         let root = match self.peaks.len() {
             0 => empty_root(),
@@ -240,6 +282,9 @@ impl MerkleTree {
     /// Removes all leaves at index >= `new_len` (consensus rollback).
     pub fn truncate(&mut self, new_len: u64) {
         assert!(new_len <= self.len(), "cannot truncate to a larger size");
+        if let Some(m) = &self.metrics {
+            m.truncations.inc();
+        }
         self.cached_root.set(None);
         self.leaves.truncate(new_len as usize);
         // Rebuild the peak stack from the retained leaves. Rollbacks are
@@ -539,6 +584,23 @@ mod tests {
         assert_eq!(snapshot.root(), snapshot.root_recursive());
         tree.append_batch([b"x".as_slice(), b"y".as_slice()]);
         assert_eq!(tree.root(), tree.root_recursive());
+    }
+
+    #[test]
+    fn metrics_count_appends_hits_misses_truncations() {
+        let reg = ccf_obs::Registry::new();
+        let mut tree = MerkleTree::new();
+        tree.set_registry(&reg);
+        tree.append(b"a");
+        tree.append_batch([b"b".as_slice(), b"c".as_slice()]);
+        let _ = tree.root(); // miss (mutated since construction)
+        let _ = tree.root(); // hit
+        tree.truncate(1);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["ledger.merkle_appends"], 3);
+        assert_eq!(snap.counters["ledger.merkle_root_cache_misses"], 1);
+        assert_eq!(snap.counters["ledger.merkle_root_cache_hits"], 1);
+        assert_eq!(snap.counters["ledger.merkle_truncations"], 1);
     }
 
     #[test]

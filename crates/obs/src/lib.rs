@@ -1,0 +1,625 @@
+//! Deterministic observability for the CCF reproduction: RED-style
+//! metrics and Dapper-style span tracing, with no dependencies.
+//!
+//! The paper evaluates CCF with per-subsystem breakdowns (§7, Figs.
+//! 7–9); this crate provides the plumbing to see where *virtual* time
+//! goes inside a run. Because every instrumented component runs on the
+//! deterministic simulator (`ccf-sim`), all timestamps come from
+//! virtual time and every counter increment happens in a fixed order —
+//! so two runs from the same seed produce **byte-identical**
+//! [`Snapshot`]s, and CI can diff them.
+//!
+//! # Model
+//!
+//! * [`Registry`] — a cheaply-cloneable handle (an `Arc`) owning all
+//!   metrics of one run. There is deliberately no process-global
+//!   registry: each `Cluster`/`ServiceCluster`/chaos run owns its own,
+//!   so parallel tests never share state and same-seed runs snapshot
+//!   identically.
+//! * [`Counter`] / [`Gauge`] — monotone and last-write-wins `u64`
+//!   cells. Handles are `Arc<AtomicU64>` clones: fetch them once (e.g.
+//!   into a per-replica metrics struct) and increment lock-free on the
+//!   hot path.
+//! * [`Histogram`] — fixed bucket boundaries declared at registration
+//!   (`le`-style cumulative export), plus count and sum. No dynamic
+//!   resizing, so observation cost is a branchless-ish scan over a
+//!   handful of atomics.
+//! * Spans — [`Registry::span_enter`] returns a [`SpanToken`] capturing
+//!   the virtual start time and a monotone sequence number;
+//!   [`Registry::span_exit`] records the completed span into a bounded
+//!   ring buffer (old spans are overwritten, a total count is kept).
+//!   Off-simulation — when nothing calls [`Registry::set_now`] — the
+//!   virtual clock stays at zero and the sequence number alone provides
+//!   a monotonic ordering stub.
+//! * [`Snapshot`] / JSON — [`Registry::snapshot`] captures everything
+//!   into plain sorted maps; [`Snapshot::to_json`] renders them with
+//!   deterministic key order and no floats.
+//!
+//! # Naming scheme
+//!
+//! Metric names are `&'static str`, dot-separated, `subsystem.metric`:
+//! `consensus.*` (replica protocol), `node.*` (request path),
+//! `ledger.*` (Merkle/encryption), `net.*` (simulated network),
+//! `crypto.*` (signature verification). See `DESIGN.md` §10.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default capacity of the span ring buffer (completed spans retained).
+pub const DEFAULT_SPAN_CAPACITY: usize = 1024;
+
+/// A monotone counter. Cloning shares the underlying cell, so a handle
+/// can be cached once and incremented lock-free on the hot path.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins `u64` cell (queue depths, commit seqnos, …).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `v` if `v` is larger (monotone high-water).
+    pub fn fetch_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    /// Upper bounds (inclusive) of each bucket; an implicit `+inf`
+    /// bucket follows the last bound.
+    bounds: &'static [u64],
+    /// `bounds.len() + 1` cells; the last is the overflow bucket.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A histogram with fixed bucket boundaries declared at registration.
+///
+/// A value `v` lands in the first bucket whose bound satisfies
+/// `v <= bound`, or in the implicit overflow bucket past the last
+/// bound. Export is per-bucket (not cumulative); count and sum ride
+/// along so averages need no float arithmetic.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    fn new(bounds: &'static [u64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must be strictly increasing");
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram(Arc::new(HistogramInner {
+            bounds,
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }))
+    }
+
+    /// Records one observation of `v`.
+    pub fn observe(&self, v: u64) {
+        let inner = &self.0;
+        let idx = inner.bounds.iter().position(|&b| v <= b).unwrap_or(inner.bounds.len());
+        inner.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.0.bounds.to_vec(),
+            buckets: self.0.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            count: self.count(),
+            sum: self.sum(),
+        }
+    }
+}
+
+/// An in-flight span: returned by [`Registry::span_enter`], consumed by
+/// [`Registry::span_exit`]. Dropping a token without exiting simply
+/// records nothing.
+#[derive(Debug)]
+#[must_use = "pass the token to span_exit to record the span"]
+pub struct SpanToken {
+    name: &'static str,
+    start: u64,
+    start_seq: u64,
+}
+
+/// One completed span as captured in a [`Snapshot`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Static span name (same namespace as metrics).
+    pub name: String,
+    /// Virtual-time start (ms; 0 off-simulation).
+    pub start: u64,
+    /// Virtual-time end (ms).
+    pub end: u64,
+    /// Monotone sequence number at enter — a total order over all
+    /// observability events of the run, including zero-duration spans.
+    pub seq: u64,
+}
+
+#[derive(Debug)]
+struct SpanRing {
+    buf: Vec<SpanRecord>,
+    /// Next slot to overwrite once the buffer is full.
+    head: usize,
+    /// Total spans ever recorded (including overwritten ones).
+    total: u64,
+    capacity: usize,
+}
+
+impl SpanRing {
+    fn push(&mut self, rec: SpanRecord) {
+        self.total += 1;
+        if self.capacity == 0 {
+            return;
+        }
+        if self.buf.len() < self.capacity {
+            self.buf.push(rec);
+        } else {
+            self.buf[self.head] = rec;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    /// Contents in recording order (oldest retained first).
+    fn ordered(&self) -> Vec<SpanRecord> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    counters: Mutex<BTreeMap<&'static str, Counter>>,
+    gauges: Mutex<BTreeMap<&'static str, Gauge>>,
+    histograms: Mutex<BTreeMap<&'static str, Histogram>>,
+    spans: Mutex<SpanRing>,
+    /// Virtual time, fed by the harness driving the run.
+    now: AtomicU64,
+    /// Monotone event sequence; the ordering stub off-simulation.
+    seq: AtomicU64,
+}
+
+/// A registry of metrics and spans for one run. Cloning yields another
+/// handle to the same underlying state.
+#[derive(Clone, Debug)]
+pub struct Registry(Arc<Inner>);
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// Creates an empty registry with the default span capacity.
+    pub fn new() -> Self {
+        Registry::with_span_capacity(DEFAULT_SPAN_CAPACITY)
+    }
+
+    /// Creates an empty registry retaining at most `capacity` completed
+    /// spans (older spans are overwritten; the total is still counted).
+    pub fn with_span_capacity(capacity: usize) -> Self {
+        Registry(Arc::new(Inner {
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+            spans: Mutex::new(SpanRing {
+                buf: Vec::new(),
+                head: 0,
+                total: 0,
+                capacity,
+            }),
+            now: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
+        }))
+    }
+
+    /// Returns the counter registered under `name`, creating it on
+    /// first use. Cache the handle; do not call this on a hot path.
+    pub fn counter(&self, name: &'static str) -> Counter {
+        self.0.counters.lock().unwrap().entry(name).or_default().clone()
+    }
+
+    /// Returns the gauge registered under `name`, creating it on first
+    /// use.
+    pub fn gauge(&self, name: &'static str) -> Gauge {
+        self.0.gauges.lock().unwrap().entry(name).or_default().clone()
+    }
+
+    /// Returns the histogram registered under `name`, creating it with
+    /// `bounds` on first use. Later calls for the same name return the
+    /// existing histogram (the original bounds win).
+    pub fn histogram(&self, name: &'static str, bounds: &'static [u64]) -> Histogram {
+        self.0
+            .histograms
+            .lock()
+            .unwrap()
+            .entry(name)
+            .or_insert_with(|| Histogram::new(bounds))
+            .clone()
+    }
+
+    /// Advances the virtual clock to `t` (monotone: earlier values are
+    /// ignored). Harnesses call this once per simulation step.
+    pub fn set_now(&self, t: u64) {
+        self.0.now.fetch_max(t, Ordering::Relaxed);
+    }
+
+    /// Current virtual time (0 until [`set_now`](Registry::set_now) is
+    /// first called — the off-simulation stub).
+    pub fn now(&self) -> u64 {
+        self.0.now.load(Ordering::Relaxed)
+    }
+
+    fn next_seq(&self) -> u64 {
+        self.0.seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Opens a span named `name`, stamping the current virtual time and
+    /// the next sequence number.
+    pub fn span_enter(&self, name: &'static str) -> SpanToken {
+        SpanToken { name, start: self.now(), start_seq: self.next_seq() }
+    }
+
+    /// Closes `token`, recording the completed span into the ring
+    /// buffer.
+    pub fn span_exit(&self, token: SpanToken) {
+        let rec = SpanRecord {
+            name: token.name.to_string(),
+            start: token.start,
+            end: self.now(),
+            seq: token.start_seq,
+        };
+        self.0.spans.lock().unwrap().push(rec);
+    }
+
+    /// Captures everything into a plain, comparable [`Snapshot`].
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .0
+            .counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.get()))
+            .collect();
+        let gauges = self
+            .0
+            .gauges
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.get()))
+            .collect();
+        let histograms = self
+            .0
+            .histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.snapshot()))
+            .collect();
+        let ring = self.0.spans.lock().unwrap();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+            spans_total: ring.total,
+            spans: ring.ordered(),
+        }
+    }
+
+    /// Shorthand for `self.snapshot().to_json()`.
+    pub fn to_json(&self) -> String {
+        self.snapshot().to_json()
+    }
+}
+
+/// One histogram's state inside a [`Snapshot`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Inclusive upper bounds, one per non-overflow bucket.
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts; `bounds.len() + 1` entries, last is overflow.
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+}
+
+/// A point-in-time capture of a [`Registry`]: plain sorted maps, fully
+/// comparable. Two same-seed simulator runs produce `==` snapshots and
+/// byte-identical [`to_json`](Snapshot::to_json) output.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, u64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Total spans ever recorded (including ones the ring dropped).
+    pub spans_total: u64,
+    /// Retained spans, oldest first.
+    pub spans: Vec<SpanRecord>,
+}
+
+impl Snapshot {
+    /// Renders the snapshot as JSON with deterministic key order.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n  \"counters\": {");
+        join_map(&mut s, self.counters.iter(), |s, (k, v)| {
+            let _ = write!(s, "\"{}\": {}", escape(k), v);
+        });
+        s.push_str("},\n  \"gauges\": {");
+        join_map(&mut s, self.gauges.iter(), |s, (k, v)| {
+            let _ = write!(s, "\"{}\": {}", escape(k), v);
+        });
+        s.push_str("},\n  \"histograms\": {");
+        join_map(&mut s, self.histograms.iter(), |s, (k, h)| {
+            let _ = write!(
+                s,
+                "\"{}\": {{\"bounds\": {:?}, \"buckets\": {:?}, \"count\": {}, \"sum\": {}}}",
+                escape(k),
+                h.bounds,
+                h.buckets,
+                h.count,
+                h.sum
+            );
+        });
+        let _ = write!(s, "}},\n  \"spans_total\": {},\n  \"spans\": [", self.spans_total);
+        join_map(&mut s, self.spans.iter(), |s, r| {
+            let _ = write!(
+                s,
+                "{{\"name\": \"{}\", \"start\": {}, \"end\": {}, \"seq\": {}}}",
+                escape(&r.name),
+                r.start,
+                r.end,
+                r.seq
+            );
+        });
+        s.push_str("]\n}\n");
+        s
+    }
+
+    /// Counter-by-counter difference against `other`: every name whose
+    /// value differs (missing counts as 0), as `(name, self, other)`.
+    /// The chaos sweeper uses this to show what a failing seed did
+    /// differently from the last passing one.
+    pub fn diff_counters(&self, other: &Snapshot) -> Vec<(String, u64, u64)> {
+        let mut names: Vec<&String> = self.counters.keys().collect();
+        for k in other.counters.keys() {
+            if !self.counters.contains_key(k) {
+                names.push(k);
+            }
+        }
+        names.sort();
+        names
+            .into_iter()
+            .filter_map(|name| {
+                let a = self.counters.get(name).copied().unwrap_or(0);
+                let b = other.counters.get(name).copied().unwrap_or(0);
+                (a != b).then(|| (name.clone(), a, b))
+            })
+            .collect()
+    }
+}
+
+fn join_map<I: Iterator>(s: &mut String, items: I, mut f: impl FnMut(&mut String, I::Item)) {
+    let mut first = true;
+    for item in items {
+        if !first {
+            s.push_str(", ");
+        }
+        first = false;
+        f(s, item);
+    }
+}
+
+/// Minimal JSON string escaping; metric names are static identifiers,
+/// but span/snapshot consumers must never be able to break the output.
+fn escape(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let reg = Registry::new();
+        let c = reg.counter("x.count");
+        c.inc();
+        c.add(4);
+        assert_eq!(reg.counter("x.count").get(), 5);
+        let g = reg.gauge("x.depth");
+        g.set(7);
+        g.set(3);
+        assert_eq!(g.get(), 3);
+        g.fetch_max(2);
+        assert_eq!(g.get(), 3);
+        g.fetch_max(9);
+        assert_eq!(g.get(), 9);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        let reg = Registry::new();
+        let h = reg.histogram("h", &[1, 4, 16]);
+        // Bounds are inclusive: v <= bound.
+        h.observe(0); // bucket 0
+        h.observe(1); // bucket 0 (boundary)
+        h.observe(2); // bucket 1
+        h.observe(4); // bucket 1 (boundary)
+        h.observe(5); // bucket 2
+        h.observe(16); // bucket 2 (boundary)
+        h.observe(17); // overflow
+        h.observe(9000); // overflow
+        let snap = reg.snapshot();
+        let hs = &snap.histograms["h"];
+        assert_eq!(hs.bounds, vec![1, 4, 16]);
+        assert_eq!(hs.buckets, vec![2, 2, 2, 2]);
+        assert_eq!(hs.count, 8);
+        assert_eq!(hs.sum, 1 + 2 + 4 + 5 + 16 + 17 + 9000);
+    }
+
+    #[test]
+    fn histogram_same_name_returns_same_cells() {
+        let reg = Registry::new();
+        reg.histogram("h", &[10]).observe(3);
+        reg.histogram("h", &[10]).observe(4);
+        assert_eq!(reg.histogram("h", &[10]).count(), 2);
+    }
+
+    #[test]
+    fn span_ring_wraparound() {
+        let reg = Registry::with_span_capacity(3);
+        for i in 0..5u64 {
+            reg.set_now(i * 10);
+            let t = reg.span_enter("tick");
+            reg.set_now(i * 10 + 1);
+            reg.span_exit(t);
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.spans_total, 5);
+        assert_eq!(snap.spans.len(), 3);
+        // Oldest retained first: spans 2, 3, 4.
+        assert_eq!(
+            snap.spans.iter().map(|s| s.start).collect::<Vec<_>>(),
+            vec![20, 30, 40]
+        );
+        assert!(snap.spans.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+
+    #[test]
+    fn zero_capacity_ring_counts_but_retains_nothing() {
+        let reg = Registry::with_span_capacity(0);
+        let t = reg.span_enter("s");
+        reg.span_exit(t);
+        let snap = reg.snapshot();
+        assert_eq!(snap.spans_total, 1);
+        assert!(snap.spans.is_empty());
+    }
+
+    #[test]
+    fn virtual_clock_is_monotone() {
+        let reg = Registry::new();
+        assert_eq!(reg.now(), 0);
+        reg.set_now(100);
+        reg.set_now(50); // ignored
+        assert_eq!(reg.now(), 100);
+    }
+
+    #[test]
+    fn snapshot_json_is_deterministic_and_sorted() {
+        let build = || {
+            let reg = Registry::new();
+            reg.counter("b.second").add(2);
+            reg.counter("a.first").inc();
+            reg.gauge("z.depth").set(9);
+            reg.histogram("lat", &[1, 2]).observe(3);
+            reg.set_now(42);
+            let t = reg.span_enter("op");
+            reg.span_exit(t);
+            reg.to_json()
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a, b);
+        // Sorted key order regardless of registration order.
+        assert!(a.find("a.first").unwrap() < a.find("b.second").unwrap());
+        assert!(a.contains("\"spans_total\": 1"));
+    }
+
+    #[test]
+    fn diff_counters_reports_changed_and_missing() {
+        let a = Registry::new();
+        a.counter("only_a").inc();
+        a.counter("same").add(5);
+        a.counter("diff").add(1);
+        let b = Registry::new();
+        b.counter("same").add(5);
+        b.counter("diff").add(3);
+        b.counter("only_b").add(2);
+        let d = a.snapshot().diff_counters(&b.snapshot());
+        assert_eq!(
+            d,
+            vec![
+                ("diff".to_string(), 1, 3),
+                ("only_a".to_string(), 1, 0),
+                ("only_b".to_string(), 0, 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn escape_handles_control_and_quote() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+}

@@ -11,7 +11,7 @@
 //! it with consensus RPCs, `ccf-core` with full node-to-node traffic.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod nemesis;
 
@@ -95,6 +95,9 @@ pub struct SimNet<M> {
     duplicate_probability: f64,
     sent: u64,
     dropped: u64,
+    /// Mirrors of `sent`/`dropped` in an attached observability registry
+    /// (`net.messages_sent` / `net.messages_dropped`), if any.
+    metrics: Option<(ccf_obs::Counter, ccf_obs::Counter)>,
 }
 
 impl<M: Eq + Clone> SimNet<M> {
@@ -112,6 +115,29 @@ impl<M: Eq + Clone> SimNet<M> {
             duplicate_probability: 0.0,
             sent: 0,
             dropped: 0,
+            metrics: None,
+        }
+    }
+
+    /// Attaches observability counters (`net.messages_sent`,
+    /// `net.messages_dropped`) from `reg`; they track the same totals as
+    /// [`SimNet::sent_count`] / [`SimNet::dropped_count`] from this point
+    /// on.
+    pub fn set_registry(&mut self, reg: &ccf_obs::Registry) {
+        self.metrics = Some((reg.counter("net.messages_sent"), reg.counter("net.messages_dropped")));
+    }
+
+    fn count_sent(&mut self) {
+        self.sent += 1;
+        if let Some((sent, _)) = &self.metrics {
+            sent.inc();
+        }
+    }
+
+    fn count_dropped(&mut self) {
+        self.dropped += 1;
+        if let Some((_, dropped)) = &self.metrics {
+            dropped.inc();
         }
     }
 
@@ -163,17 +189,17 @@ impl<M: Eq + Clone> SimNet<M> {
 
     /// Sends `msg` from `from` to `to`, subject to faults and latency.
     pub fn send(&mut self, from: &NodeId, to: &NodeId, msg: M) {
-        self.sent += 1;
+        self.count_sent();
         if self.crashed.contains(from) || self.crashed.contains(to) {
-            self.dropped += 1;
+            self.count_dropped();
             return;
         }
         if !self.can_communicate(from, to) {
-            self.dropped += 1;
+            self.count_dropped();
             return;
         }
         if self.cfg.drop_probability > 0.0 && self.rng.gen_bool(self.cfg.drop_probability) {
-            self.dropped += 1;
+            self.count_dropped();
             return;
         }
         let (lo, hi) = self.cfg.latency;
@@ -216,7 +242,7 @@ impl<M: Eq + Clone> SimNet<M> {
             }
             let Reverse(s) = self.queue.pop().unwrap();
             if self.undeliverable(&s.to, &s.from) {
-                self.dropped += 1;
+                self.count_dropped();
                 continue;
             }
             out.push(Delivery { at: s.deliver_at, from: s.from, to: s.to, msg: s.msg });
@@ -299,7 +325,7 @@ impl<M: Eq + Clone> SimNet<M> {
                 return Some(head.deliver_at);
             }
             self.queue.pop();
-            self.dropped += 1;
+            self.count_dropped();
         }
         None
     }

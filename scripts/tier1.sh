@@ -23,6 +23,9 @@ echo "== tier1: bounded chaos sweep (release, fixed seeds)"
 cargo run -q --release -p ccf-bench --bin chaos -- --seeds 25
 
 echo "== tier1: clippy -D warnings (touched crates)"
-cargo clippy -q -p ccf-crypto -p ccf-ledger -p ccf-sim -p ccf-consensus -p ccf-core -p ccf-bench -- -D warnings
+cargo clippy -q -p ccf-crypto -p ccf-ledger -p ccf-sim -p ccf-obs -p ccf-consensus -p ccf-core -p ccf-bench -- -D warnings
+
+echo "== tier1: rustdoc -D warnings"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
 echo "== tier1: OK"
