@@ -381,10 +381,10 @@ impl CcfNode {
         let service_key = SigningKey::from_seed(secrets.service_key_seed);
         inner.service_identity = Some(service_key.verifying_key());
         inner.service_key = Some(service_key);
-        inner.secrets = Some(
-            LedgerSecrets::deserialize(&secrets.ledger_secrets)
-                .expect("valid serialized ledger secrets"),
-        );
+        let mut ledger_secrets = LedgerSecrets::deserialize(&secrets.ledger_secrets)
+            .expect("valid serialized ledger secrets");
+        ledger_secrets.set_registry(&self.metrics.reg);
+        inner.secrets = Some(ledger_secrets);
     }
 
     /// Exports the service secrets for a verified joiner (trusted nodes
@@ -417,7 +417,8 @@ impl CcfNode {
         // Service identity & ledger secret are born here (Table 1).
         let service_key = SigningKey::generate(&mut inner.rng);
         let initial_secret = inner.rng.gen_seed();
-        let secrets = LedgerSecrets::new(initial_secret);
+        let mut secrets = LedgerSecrets::new(initial_secret);
+        secrets.set_registry(&self.metrics.reg);
         inner.service_identity = Some(service_key.verifying_key());
         inner.service_key = Some(service_key.clone());
         inner.secrets = Some(secrets.clone());

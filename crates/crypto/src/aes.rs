@@ -5,8 +5,19 @@
 //! instead of being hardcoded, eliminating table transcription as a failure
 //! mode. The FIPS 197 appendix C known-answer tests pin the result.
 //!
-//! This is a straightforward table-free-schedule implementation; it is not
-//! constant-time (see the crate-level security disclaimer).
+//! Two encryption pipelines share the one key schedule:
+//!
+//! * The **fast path** ([`Aes::encrypt_block`]) uses the classic 32-bit
+//!   T-table formulation: SubBytes + ShiftRows + MixColumns for one output
+//!   word collapse into four table lookups and three XORs. The four tables
+//!   are *derived* from the S-box and the GF(2^8) arithmetic at first use,
+//!   so they inherit the no-transcription property.
+//! * The **reference oracle** ([`reference::Aes`]) is the frozen byte-wise
+//!   seed implementation (explicit SubBytes/ShiftRows/MixColumns with
+//!   per-byte `gf_mul`). Property tests assert the fast path is
+//!   byte-identical to it on random blocks; the FIPS vectors pin both.
+//!
+//! Neither path is constant-time (see the crate-level security disclaimer).
 
 use std::sync::OnceLock;
 
@@ -70,9 +81,126 @@ fn tables() -> &'static Tables {
     })
 }
 
+/// The four encryption T-tables. `te[0][x]` packs the MixColumns column
+/// produced by S-box output `S(x)` in row 0 — bytes `(2·S, S, S, 3·S)` from
+/// most to least significant — and `te[j]` is `te[0]` byte-rotated right by
+/// `j`, matching the row the byte lands in after ShiftRows.
+struct EncTables {
+    te: [[u32; 256]; 4],
+}
+
+fn enc_tables() -> &'static EncTables {
+    static T: OnceLock<EncTables> = OnceLock::new();
+    T.get_or_init(|| {
+        let sbox = &tables().sbox;
+        let mut te = [[0u32; 256]; 4];
+        for (x, &s) in sbox.iter().enumerate() {
+            let t0 = u32::from_be_bytes([gf_mul(s, 2), s, s, gf_mul(s, 3)]);
+            te[0][x] = t0;
+            te[1][x] = t0.rotate_right(8);
+            te[2][x] = t0.rotate_right(16);
+            te[3][x] = t0.rotate_right(24);
+        }
+        EncTables { te }
+    })
+}
+
+/// FIPS 197 key expansion, shared by the fast path and the reference
+/// oracle (the schedule itself has no fast/slow variants).
+fn expand_round_keys(key: &[u8], nk: usize, rounds: usize) -> Vec<[u8; 16]> {
+    let sbox = &tables().sbox;
+    let total_words = 4 * (rounds + 1);
+    let mut w: Vec<[u8; 4]> = Vec::with_capacity(total_words);
+    for i in 0..nk {
+        w.push(key[i * 4..i * 4 + 4].try_into().unwrap());
+    }
+    let mut rcon: u8 = 1;
+    for i in nk..total_words {
+        let mut temp = w[i - 1];
+        if i % nk == 0 {
+            temp.rotate_left(1);
+            for b in temp.iter_mut() {
+                *b = sbox[*b as usize];
+            }
+            temp[0] ^= rcon;
+            rcon = gf_mul(rcon, 2);
+        } else if nk > 6 && i % nk == 4 {
+            for b in temp.iter_mut() {
+                *b = sbox[*b as usize];
+            }
+        }
+        let prev = w[i - nk];
+        w.push([
+            prev[0] ^ temp[0],
+            prev[1] ^ temp[1],
+            prev[2] ^ temp[2],
+            prev[3] ^ temp[3],
+        ]);
+    }
+    w.chunks(4)
+        .map(|c| {
+            let mut rk = [0u8; 16];
+            for (i, word) in c.iter().enumerate() {
+                rk[i * 4..i * 4 + 4].copy_from_slice(word);
+            }
+            rk
+        })
+        .collect()
+}
+
+/// One full T-table round (SubBytes + ShiftRows + MixColumns + AddRoundKey)
+/// over the state as four big-endian column words.
+#[inline(always)]
+fn t_round(te: &[[u32; 256]; 4], s: [u32; 4], k: &[u32; 4]) -> [u32; 4] {
+    [
+        te[0][(s[0] >> 24) as usize]
+            ^ te[1][((s[1] >> 16) & 0xff) as usize]
+            ^ te[2][((s[2] >> 8) & 0xff) as usize]
+            ^ te[3][(s[3] & 0xff) as usize]
+            ^ k[0],
+        te[0][(s[1] >> 24) as usize]
+            ^ te[1][((s[2] >> 16) & 0xff) as usize]
+            ^ te[2][((s[3] >> 8) & 0xff) as usize]
+            ^ te[3][(s[0] & 0xff) as usize]
+            ^ k[1],
+        te[0][(s[2] >> 24) as usize]
+            ^ te[1][((s[3] >> 16) & 0xff) as usize]
+            ^ te[2][((s[0] >> 8) & 0xff) as usize]
+            ^ te[3][(s[1] & 0xff) as usize]
+            ^ k[2],
+        te[0][(s[3] >> 24) as usize]
+            ^ te[1][((s[0] >> 16) & 0xff) as usize]
+            ^ te[2][((s[1] >> 8) & 0xff) as usize]
+            ^ te[3][(s[2] & 0xff) as usize]
+            ^ k[3],
+    ]
+}
+
+/// The final round: SubBytes + ShiftRows + AddRoundKey (no MixColumns).
+#[inline(always)]
+fn last_round(sbox: &[u8; 256], s: [u32; 4], k: &[u32; 4]) -> [u32; 4] {
+    let sub = |a: u32, b: u32, c: u32, d: u32| -> u32 {
+        ((sbox[(a >> 24) as usize] as u32) << 24)
+            | ((sbox[((b >> 16) & 0xff) as usize] as u32) << 16)
+            | ((sbox[((c >> 8) & 0xff) as usize] as u32) << 8)
+            | (sbox[(d & 0xff) as usize] as u32)
+    };
+    [
+        sub(s[0], s[1], s[2], s[3]) ^ k[0],
+        sub(s[1], s[2], s[3], s[0]) ^ k[1],
+        sub(s[2], s[3], s[0], s[1]) ^ k[2],
+        sub(s[3], s[0], s[1], s[2]) ^ k[3],
+    ]
+}
+
 /// An expanded AES key, ready for block operations.
+///
+/// Encryption runs the T-table fast path; decryption keeps the byte-wise
+/// inverse rounds (it is off the hot path — GCM only ever encrypts).
 pub struct Aes {
     round_keys: Vec<[u8; 16]>,
+    /// Round keys as big-endian words, the form the T-table rounds consume.
+    enc_keys: Vec<[u32; 4]>,
     rounds: usize,
 }
 
@@ -88,61 +216,72 @@ impl Aes {
     }
 
     fn expand(key: &[u8], nk: usize, rounds: usize) -> Self {
-        let sbox = &tables().sbox;
-        let total_words = 4 * (rounds + 1);
-        let mut w: Vec<[u8; 4]> = Vec::with_capacity(total_words);
-        for i in 0..nk {
-            w.push(key[i * 4..i * 4 + 4].try_into().unwrap());
-        }
-        let mut rcon: u8 = 1;
-        for i in nk..total_words {
-            let mut temp = w[i - 1];
-            if i % nk == 0 {
-                temp.rotate_left(1);
-                for b in temp.iter_mut() {
-                    *b = sbox[*b as usize];
-                }
-                temp[0] ^= rcon;
-                rcon = gf_mul(rcon, 2);
-            } else if nk > 6 && i % nk == 4 {
-                for b in temp.iter_mut() {
-                    *b = sbox[*b as usize];
-                }
-            }
-            let prev = w[i - nk];
-            w.push([
-                prev[0] ^ temp[0],
-                prev[1] ^ temp[1],
-                prev[2] ^ temp[2],
-                prev[3] ^ temp[3],
-            ]);
-        }
-        let round_keys = w
-            .chunks(4)
-            .map(|c| {
-                let mut rk = [0u8; 16];
-                for (i, word) in c.iter().enumerate() {
-                    rk[i * 4..i * 4 + 4].copy_from_slice(word);
-                }
-                rk
+        let round_keys = expand_round_keys(key, nk, rounds);
+        let enc_keys = round_keys
+            .iter()
+            .map(|rk| {
+                [
+                    u32::from_be_bytes(rk[0..4].try_into().unwrap()),
+                    u32::from_be_bytes(rk[4..8].try_into().unwrap()),
+                    u32::from_be_bytes(rk[8..12].try_into().unwrap()),
+                    u32::from_be_bytes(rk[12..16].try_into().unwrap()),
+                ]
             })
             .collect();
-        Aes { round_keys, rounds }
+        Aes { round_keys, enc_keys, rounds }
     }
 
-    /// Encrypts one 16-byte block in place.
-    pub fn encrypt_block(&self, block: &mut [u8; 16]) {
-        let sbox = &tables().sbox;
-        xor16(block, &self.round_keys[0]);
-        for r in 1..self.rounds {
-            sub_bytes(block, sbox);
-            shift_rows(block);
-            mix_columns(block);
-            xor16(block, &self.round_keys[r]);
+    /// One encryption over the state as four big-endian column words.
+    /// Word `i` of a round output pulls its bytes from columns
+    /// `i, i+1, i+2, i+3` (mod 4) — that is ShiftRows — and each T-table
+    /// lookup contributes that byte's SubBytes + MixColumns product.
+    #[inline]
+    pub(crate) fn encrypt_words(&self, mut s: [u32; 4]) -> [u32; 4] {
+        let te = &enc_tables().te;
+        let rk = &self.enc_keys;
+        for i in 0..4 {
+            s[i] ^= rk[0][i];
         }
-        sub_bytes(block, sbox);
-        shift_rows(block);
-        xor16(block, &self.round_keys[self.rounds]);
+        for k in &rk[1..self.rounds] {
+            s = t_round(te, s, k);
+        }
+        last_round(&tables().sbox, s, &rk[self.rounds])
+    }
+
+    /// Four encryptions interleaved round-by-round: each round loads its
+    /// key once and runs four independent dependency chains through the
+    /// T-tables, so the loads pipeline instead of serializing. This is the
+    /// CTR keystream workhorse.
+    #[inline]
+    pub(crate) fn encrypt4_words(&self, mut s: [[u32; 4]; 4]) -> [[u32; 4]; 4] {
+        let te = &enc_tables().te;
+        let rk = &self.enc_keys;
+        for blk in &mut s {
+            for i in 0..4 {
+                blk[i] ^= rk[0][i];
+            }
+        }
+        for k in &rk[1..self.rounds] {
+            for blk in &mut s {
+                *blk = t_round(te, *blk, k);
+            }
+        }
+        let sbox = &tables().sbox;
+        let k = &rk[self.rounds];
+        s.map(|blk| last_round(sbox, blk, k))
+    }
+
+    /// Encrypts one 16-byte block in place (T-table fast path).
+    pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+        let s = self.encrypt_words([
+            u32::from_be_bytes(block[0..4].try_into().unwrap()),
+            u32::from_be_bytes(block[4..8].try_into().unwrap()),
+            u32::from_be_bytes(block[8..12].try_into().unwrap()),
+            u32::from_be_bytes(block[12..16].try_into().unwrap()),
+        ]);
+        for (i, w) in s.iter().enumerate() {
+            block[i * 4..i * 4 + 4].copy_from_slice(&w.to_be_bytes());
+        }
     }
 
     /// Decrypts one 16-byte block in place.
@@ -158,6 +297,62 @@ impl Aes {
             inv_sub_bytes(block, inv_sbox);
         }
         xor16(block, &self.round_keys[0]);
+    }
+}
+
+/// The frozen byte-wise seed implementation, kept as the equivalence
+/// oracle for the T-table fast path (the same pattern as
+/// [`crate::ed25519::reference`]).
+pub mod reference {
+    use super::*;
+
+    /// An expanded AES key for the byte-wise reference rounds.
+    pub struct Aes {
+        round_keys: Vec<[u8; 16]>,
+        rounds: usize,
+    }
+
+    impl Aes {
+        /// Expands a 128-bit key (10 rounds).
+        pub fn new_128(key: &[u8; 16]) -> Self {
+            Aes { round_keys: expand_round_keys(key, 4, 10), rounds: 10 }
+        }
+
+        /// Expands a 256-bit key (14 rounds).
+        pub fn new_256(key: &[u8; 32]) -> Self {
+            Aes { round_keys: expand_round_keys(key, 8, 14), rounds: 14 }
+        }
+
+        /// Encrypts one 16-byte block in place, one byte operation at a
+        /// time (the seed pipeline).
+        pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+            let sbox = &tables().sbox;
+            xor16(block, &self.round_keys[0]);
+            for r in 1..self.rounds {
+                sub_bytes(block, sbox);
+                shift_rows(block);
+                mix_columns(block);
+                xor16(block, &self.round_keys[r]);
+            }
+            sub_bytes(block, sbox);
+            shift_rows(block);
+            xor16(block, &self.round_keys[self.rounds]);
+        }
+
+        /// Decrypts one 16-byte block in place.
+        pub fn decrypt_block(&self, block: &mut [u8; 16]) {
+            let inv_sbox = &tables().inv_sbox;
+            xor16(block, &self.round_keys[self.rounds]);
+            inv_shift_rows(block);
+            inv_sub_bytes(block, inv_sbox);
+            for r in (1..self.rounds).rev() {
+                xor16(block, &self.round_keys[r]);
+                inv_mix_columns(block);
+                inv_shift_rows(block);
+                inv_sub_bytes(block, inv_sbox);
+            }
+            xor16(block, &self.round_keys[0]);
+        }
     }
 }
 
@@ -266,6 +461,20 @@ mod tests {
     }
 
     #[test]
+    fn t_tables_encode_mix_columns_of_sbox() {
+        let t = enc_tables();
+        let s = tables().sbox;
+        for x in 0..256usize {
+            let expect =
+                u32::from_be_bytes([gf_mul(s[x], 2), s[x], s[x], gf_mul(s[x], 3)]);
+            assert_eq!(t.te[0][x], expect);
+            assert_eq!(t.te[1][x], expect.rotate_right(8));
+            assert_eq!(t.te[2][x], expect.rotate_right(16));
+            assert_eq!(t.te[3][x], expect.rotate_right(24));
+        }
+    }
+
+    #[test]
     fn fips197_appendix_c1_aes128() {
         let key = from_hex_array::<16>("000102030405060708090a0b0c0d0e0f").unwrap();
         let mut block = from_hex_array::<16>("00112233445566778899aabbccddeeff").unwrap();
@@ -287,6 +496,48 @@ mod tests {
         assert_eq!(to_hex(&block), "8ea2b7ca516745bfeafc49904b496089");
         aes.decrypt_block(&mut block);
         assert_eq!(to_hex(&block), "00112233445566778899aabbccddeeff");
+    }
+
+    #[test]
+    fn reference_matches_fips_vectors() {
+        let key =
+            from_hex_array::<32>("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+                .unwrap();
+        let mut block = from_hex_array::<16>("00112233445566778899aabbccddeeff").unwrap();
+        let aes = reference::Aes::new_256(&key);
+        aes.encrypt_block(&mut block);
+        assert_eq!(to_hex(&block), "8ea2b7ca516745bfeafc49904b496089");
+        aes.decrypt_block(&mut block);
+        assert_eq!(to_hex(&block), "00112233445566778899aabbccddeeff");
+    }
+
+    #[test]
+    fn fast_path_matches_reference_on_random_blocks() {
+        let mut rng = crate::chacha::ChaChaRng::seed_from_u64(4242);
+        for _ in 0..50 {
+            let mut key256 = [0u8; 32];
+            rng.fill_bytes(&mut key256);
+            let fast = Aes::new_256(&key256);
+            let oracle = reference::Aes::new_256(&key256);
+            let mut key128 = [0u8; 16];
+            rng.fill_bytes(&mut key128);
+            let fast128 = Aes::new_128(&key128);
+            let oracle128 = reference::Aes::new_128(&key128);
+            for _ in 0..20 {
+                let mut block = [0u8; 16];
+                rng.fill_bytes(&mut block);
+                let mut a = block;
+                let mut b = block;
+                fast.encrypt_block(&mut a);
+                oracle.encrypt_block(&mut b);
+                assert_eq!(a, b);
+                let mut a = block;
+                let mut b = block;
+                fast128.encrypt_block(&mut a);
+                oracle128.encrypt_block(&mut b);
+                assert_eq!(a, b);
+            }
+        }
     }
 
     #[test]

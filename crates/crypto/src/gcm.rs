@@ -4,50 +4,176 @@
 //! files, and node-to-node payloads with AES256-GCM (§7); this module is
 //! that primitive. Nonces are 96-bit; callers derive them deterministically
 //! from transaction IDs so a (key, nonce) pair is never reused.
+//!
+//! Two pipelines, one contract:
+//!
+//! * The **fast path** ([`AesGcm256`]) runs CTR keystream generation on the
+//!   T-table AES ([`crate::aes::Aes`]), four counter blocks per loop
+//!   iteration, and GHASH via Shoup-style 4-bit multiplication tables: a
+//!   16-entry table of nibble·H products (built once per key in
+//!   [`AesGcm256::new`] *from the reference bit-by-bit multiply*, so the
+//!   table cannot drift from the oracle) plus a key-independent 16-entry
+//!   reduction table, turning the 128-iteration per-block loop into 32
+//!   shift/lookup/xor steps.
+//! * The **reference oracle** ([`reference::AesGcm256`]) keeps the frozen
+//!   seed pipeline: byte-wise AES and the bit-by-bit GF(2^128) multiply.
+//!   Equivalence property tests assert seal/open are byte-identical across
+//!   the two at every chunk-boundary length; the SP 800-38D known-answer
+//!   vectors pin both.
 
 use crate::aes::Aes;
 use crate::ct::ct_eq;
 use crate::CryptoError;
+use std::sync::OnceLock;
 
-/// Multiplication in GF(2^128) with the GCM bit convention
-/// (leftmost bit of the block is the coefficient of x^0).
-fn ghash_mul(x: u128, y: u128) -> u128 {
-    const R: u128 = 0xe1 << 120;
-    let mut z: u128 = 0;
-    let mut v = y;
-    for i in 0..128 {
-        if (x >> (127 - i)) & 1 == 1 {
-            z ^= v;
+/// The frozen seed GCM pipeline: bit-by-bit GF(2^128) multiplication over
+/// the byte-wise AES. Kept as the equivalence oracle for the table-driven
+/// fast path (the same pattern as [`crate::ed25519::reference`]).
+pub mod reference {
+    use super::{ct_eq, CryptoError, NONCE_LEN, TAG_LEN};
+    use crate::aes::reference::Aes;
+
+    /// Multiplication in GF(2^128) with the GCM bit convention
+    /// (leftmost bit of the block is the coefficient of x^0).
+    pub fn ghash_mul(x: u128, y: u128) -> u128 {
+        const R: u128 = 0xe1 << 120;
+        let mut z: u128 = 0;
+        let mut v = y;
+        for i in 0..128 {
+            if (x >> (127 - i)) & 1 == 1 {
+                z ^= v;
+            }
+            let lsb = v & 1;
+            v >>= 1;
+            if lsb == 1 {
+                v ^= R;
+            }
         }
-        let lsb = v & 1;
-        v >>= 1;
-        if lsb == 1 {
-            v ^= R;
+        z
+    }
+
+    /// GHASH over `aad` then `ct`, with the standard length block.
+    pub fn ghash(h: u128, aad: &[u8], ct: &[u8]) -> u128 {
+        let mut y: u128 = 0;
+        let mut absorb = |data: &[u8]| {
+            for chunk in data.chunks(16) {
+                let mut block = [0u8; 16];
+                block[..chunk.len()].copy_from_slice(chunk);
+                y = ghash_mul(y ^ u128::from_be_bytes(block), h);
+            }
+        };
+        absorb(aad);
+        absorb(ct);
+        let lens = ((aad.len() as u128 * 8) << 64) | (ct.len() as u128 * 8);
+        ghash_mul(y ^ lens, h)
+    }
+
+    /// An AES-256-GCM key on the frozen byte-wise pipeline.
+    pub struct AesGcm256 {
+        aes: Aes,
+        h: u128,
+    }
+
+    impl AesGcm256 {
+        /// Prepares a reference GCM context from a 256-bit key.
+        pub fn new(key: &[u8; 32]) -> Self {
+            let aes = Aes::new_256(key);
+            let mut zero = [0u8; 16];
+            aes.encrypt_block(&mut zero);
+            AesGcm256 { aes, h: u128::from_be_bytes(zero) }
+        }
+
+        fn ctr_xor(&self, nonce: &[u8; NONCE_LEN], data: &mut [u8]) {
+            // J0 = nonce || 0x00000001; encryption starts at counter 2.
+            let mut counter_block = [0u8; 16];
+            counter_block[..12].copy_from_slice(nonce);
+            let mut counter: u32 = 2;
+            for chunk in data.chunks_mut(16) {
+                counter_block[12..].copy_from_slice(&counter.to_be_bytes());
+                let mut ks = counter_block;
+                self.aes.encrypt_block(&mut ks);
+                for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                    *b ^= k;
+                }
+                counter = counter.wrapping_add(1);
+            }
+        }
+
+        fn tag(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], ct: &[u8]) -> [u8; TAG_LEN] {
+            let s = ghash(self.h, aad, ct);
+            let mut j0 = [0u8; 16];
+            j0[..12].copy_from_slice(nonce);
+            j0[15] = 1;
+            self.aes.encrypt_block(&mut j0);
+            (s ^ u128::from_be_bytes(j0)).to_be_bytes()
+        }
+
+        /// Encrypts `plaintext`, authenticating `aad`, returning ct || tag.
+        pub fn seal(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+            let mut out = plaintext.to_vec();
+            self.ctr_xor(nonce, &mut out);
+            let tag = self.tag(nonce, aad, &out);
+            out.extend_from_slice(&tag);
+            out
+        }
+
+        /// Decrypts `sealed` (ct || tag), verifying `aad`.
+        pub fn open(
+            &self,
+            nonce: &[u8; NONCE_LEN],
+            aad: &[u8],
+            sealed: &[u8],
+        ) -> Result<Vec<u8>, CryptoError> {
+            if sealed.len() < TAG_LEN {
+                return Err(CryptoError::InvalidLength { expected: TAG_LEN, got: sealed.len() });
+            }
+            let (ct, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+            let expect = self.tag(nonce, aad, ct);
+            if !ct_eq(&expect, tag) {
+                return Err(CryptoError::TagMismatch);
+            }
+            let mut out = ct.to_vec();
+            self.ctr_xor(nonce, &mut out);
+            Ok(out)
         }
     }
-    z
 }
 
-/// GHASH over `aad` then `ct`, with the standard length block.
-fn ghash(h: u128, aad: &[u8], ct: &[u8]) -> u128 {
-    let mut y: u128 = 0;
-    let mut absorb = |data: &[u8]| {
-        for chunk in data.chunks(16) {
-            let mut block = [0u8; 16];
-            block[..chunk.len()].copy_from_slice(chunk);
-            y = ghash_mul(y ^ u128::from_be_bytes(block), h);
+/// The key-independent reduction table for multiplying by x^8 in the GCM
+/// field: `rtab[n]` is the reduction contribution of the low byte `n` that
+/// an 8-bit right shift pushes out. Derived from the reference single-bit
+/// step (shift right + conditional xor of 0xe1·x^120), which is
+/// GF(2)-linear, so eight applications to the isolated byte give exactly
+/// the correction term.
+fn rtab() -> &'static [u128; 256] {
+    static T: OnceLock<[u128; 256]> = OnceLock::new();
+    T.get_or_init(|| {
+        const R: u128 = 0xe1 << 120;
+        let mut t = [0u128; 256];
+        for (n, slot) in t.iter_mut().enumerate() {
+            let mut v = n as u128;
+            for _ in 0..8 {
+                let lsb = v & 1;
+                v >>= 1;
+                if lsb == 1 {
+                    v ^= R;
+                }
+            }
+            *slot = v;
         }
-    };
-    absorb(aad);
-    absorb(ct);
-    let lens = ((aad.len() as u128 * 8) << 64) | (ct.len() as u128 * 8);
-    ghash_mul(y ^ lens, h)
+        t
+    })
 }
 
-/// An AES-256-GCM key.
+/// An AES-256-GCM key (fast path).
 pub struct AesGcm256 {
     aes: Aes,
-    h: u128,
+    /// Per-byte-position Shoup tables: `m[p][b]` is the GHASH product of H
+    /// with the block whose byte at u128 bit offset `8p` is `b` (all other
+    /// bits zero). X·H is then 16 *independent* table lookups XORed
+    /// together — no reduction chain at multiply time, so the loads
+    /// pipeline. 64 KiB per key, paid once per cached context.
+    m: Box<[[u128; 256]; 16]>,
 }
 
 /// Size in bytes of the GCM authentication tag.
@@ -56,23 +182,112 @@ pub const TAG_LEN: usize = 16;
 pub const NONCE_LEN: usize = 12;
 
 impl AesGcm256 {
-    /// Prepares a GCM context from a 256-bit key.
+    /// Prepares a GCM context from a 256-bit key: the AES key schedule plus
+    /// the per-position byte·H tables. The top-position table is seeded
+    /// with the frozen reference multiply (so the fast path cannot drift
+    /// from the oracle) via GF(2)-linearity — a byte is its high nibble at
+    /// the same position plus its low nibble shifted down by x^4 — and each
+    /// lower position is the one above multiplied by x^8, one reduction
+    /// lookup per entry.
     pub fn new(key: &[u8; 32]) -> Self {
         let aes = Aes::new_256(key);
         let mut zero = [0u8; 16];
         aes.encrypt_block(&mut zero);
-        AesGcm256 { aes, h: u128::from_be_bytes(zero) }
+        let h = u128::from_be_bytes(zero);
+        let mut nib = [0u128; 16];
+        for (n, slot) in nib.iter_mut().enumerate() {
+            *slot = reference::ghash_mul((n as u128) << 124, h);
+        }
+        // One single-bit reduction step applied four times = multiply by
+        // x^4, moving a nibble product one nibble position down.
+        let shift4 = |mut v: u128| {
+            const R: u128 = 0xe1 << 120;
+            for _ in 0..4 {
+                let lsb = v & 1;
+                v >>= 1;
+                if lsb == 1 {
+                    v ^= R;
+                }
+            }
+            v
+        };
+        let rt = rtab();
+        let mut m = Box::new([[0u128; 256]; 16]);
+        for b in 0..256 {
+            m[15][b] = nib[b >> 4] ^ shift4(nib[b & 0xf]);
+        }
+        for p in (0..15).rev() {
+            for b in 0..256 {
+                let v = m[p + 1][b];
+                m[p][b] = (v >> 8) ^ rt[(v & 0xff) as usize];
+            }
+        }
+        AesGcm256 { aes, m }
     }
 
+    /// X·H via the per-position tables: 16 independent lookups, one per
+    /// byte of X, XORed together.
+    #[inline]
+    fn mul_h(&self, x: u128) -> u128 {
+        let m = &*self.m;
+        let mut z = 0u128;
+        for (p, table) in m.iter().enumerate() {
+            z ^= table[((x >> (8 * p)) & 0xff) as usize];
+        }
+        z
+    }
+
+    /// GHASH over `aad` then `ct` with the standard length block, on the
+    /// table-driven multiply.
+    fn ghash(&self, aad: &[u8], ct: &[u8]) -> u128 {
+        let mut y: u128 = 0;
+        for data in [aad, ct] {
+            let mut chunks = data.chunks_exact(16);
+            for chunk in &mut chunks {
+                y = self.mul_h(y ^ u128::from_be_bytes(chunk.try_into().unwrap()));
+            }
+            let rem = chunks.remainder();
+            if !rem.is_empty() {
+                let mut block = [0u8; 16];
+                block[..rem.len()].copy_from_slice(rem);
+                y = self.mul_h(y ^ u128::from_be_bytes(block));
+            }
+        }
+        let lens = ((aad.len() as u128 * 8) << 64) | (ct.len() as u128 * 8);
+        self.mul_h(y ^ lens)
+    }
+
+    /// CTR keystream XOR, four counter blocks (64 bytes) generated per
+    /// loop iteration so the round keys and T-tables stay hot.
     fn ctr_xor(&self, nonce: &[u8; NONCE_LEN], data: &mut [u8]) {
         // J0 = nonce || 0x00000001; encryption starts at counter 2.
-        let mut counter_block = [0u8; 16];
-        counter_block[..12].copy_from_slice(nonce);
+        let w0 = u32::from_be_bytes(nonce[0..4].try_into().unwrap());
+        let w1 = u32::from_be_bytes(nonce[4..8].try_into().unwrap());
+        let w2 = u32::from_be_bytes(nonce[8..12].try_into().unwrap());
         let mut counter: u32 = 2;
-        for chunk in data.chunks_mut(16) {
-            counter_block[12..].copy_from_slice(&counter.to_be_bytes());
-            let mut ks = counter_block;
-            self.aes.encrypt_block(&mut ks);
+        let mut chunks = data.chunks_exact_mut(64);
+        for chunk in &mut chunks {
+            let ks = self.aes.encrypt4_words([
+                [w0, w1, w2, counter],
+                [w0, w1, w2, counter.wrapping_add(1)],
+                [w0, w1, w2, counter.wrapping_add(2)],
+                [w0, w1, w2, counter.wrapping_add(3)],
+            ]);
+            for (j, blk) in ks.iter().enumerate() {
+                for (i, w) in blk.iter().enumerate() {
+                    let at = j * 16 + i * 4;
+                    let d = u32::from_be_bytes(chunk[at..at + 4].try_into().unwrap());
+                    chunk[at..at + 4].copy_from_slice(&(d ^ w).to_be_bytes());
+                }
+            }
+            counter = counter.wrapping_add(4);
+        }
+        for chunk in chunks.into_remainder().chunks_mut(16) {
+            let s = self.aes.encrypt_words([w0, w1, w2, counter]);
+            let mut ks = [0u8; 16];
+            for (i, w) in s.iter().enumerate() {
+                ks[i * 4..i * 4 + 4].copy_from_slice(&w.to_be_bytes());
+            }
             for (b, k) in chunk.iter_mut().zip(ks.iter()) {
                 *b ^= k;
             }
@@ -81,7 +296,7 @@ impl AesGcm256 {
     }
 
     fn tag(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], ct: &[u8]) -> [u8; TAG_LEN] {
-        let s = ghash(self.h, aad, ct);
+        let s = self.ghash(aad, ct);
         let mut j0 = [0u8; 16];
         j0[..12].copy_from_slice(nonce);
         j0[15] = 1;
@@ -135,7 +350,7 @@ pub fn derive_nonce(label: u8, a: u64, b: u64) -> [u8; NONCE_LEN] {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::hex::to_hex;
+    use crate::hex::{from_hex, from_hex_array, to_hex};
 
     #[test]
     fn ghash_mul_identity_and_commutativity() {
@@ -143,13 +358,39 @@ mod tests {
         // reflected convention).
         let one: u128 = 1 << 127;
         let a: u128 = 0x0123456789abcdef_fedcba9876543210;
-        assert_eq!(ghash_mul(a, one), a);
-        assert_eq!(ghash_mul(one, a), a);
+        assert_eq!(reference::ghash_mul(a, one), a);
+        assert_eq!(reference::ghash_mul(one, a), a);
         let b: u128 = 0xdeadbeefdeadbeef_0123456789abcdef;
-        assert_eq!(ghash_mul(a, b), ghash_mul(b, a));
+        assert_eq!(reference::ghash_mul(a, b), reference::ghash_mul(b, a));
         // Distributivity over XOR (field law).
         let c: u128 = 0x1111222233334444_5555666677778888;
-        assert_eq!(ghash_mul(a ^ b, c), ghash_mul(a, c) ^ ghash_mul(b, c));
+        assert_eq!(
+            reference::ghash_mul(a ^ b, c),
+            reference::ghash_mul(a, c) ^ reference::ghash_mul(b, c)
+        );
+    }
+
+    #[test]
+    fn table_mul_matches_bitwise_mul() {
+        // The 4-bit-table multiply must agree with the frozen bit-by-bit
+        // oracle for arbitrary operands (H exercised via a real context).
+        let gcm = AesGcm256::new(&[0x42u8; 32]);
+        let h = {
+            let mut zero = [0u8; 16];
+            crate::aes::Aes::new_256(&[0x42u8; 32]).encrypt_block(&mut zero);
+            u128::from_be_bytes(zero)
+        };
+        let mut rng = crate::chacha::ChaChaRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let mut x = [0u8; 16];
+            rng.fill_bytes(&mut x);
+            let x = u128::from_be_bytes(x);
+            assert_eq!(gcm.mul_h(x), reference::ghash_mul(x, h));
+        }
+        // Edge operands.
+        for x in [0u128, 1, 1 << 127, u128::MAX] {
+            assert_eq!(gcm.mul_h(x), reference::ghash_mul(x, h));
+        }
     }
 
     #[test]
@@ -210,6 +451,115 @@ mod tests {
             }
         }
         assert_ne!(derive_nonce(1, 2, 3), derive_nonce(2, 2, 3));
+    }
+
+    // ------------------------------------------------------------------
+    // NIST SP 800-38D known-answer tests (the AES-256 test cases of the
+    // GCM submission's appendix B, plus a CAVP AAD-only vector). Each
+    // vector is checked against BOTH pipelines.
+    // ------------------------------------------------------------------
+
+    fn check_kat(key_hex: &str, iv_hex: &str, aad_hex: &str, pt_hex: &str, ct_tag_hex: &str) {
+        let key = from_hex_array::<32>(key_hex).unwrap();
+        let iv = from_hex_array::<12>(iv_hex).unwrap();
+        let aad = from_hex(aad_hex).unwrap();
+        let pt = from_hex(pt_hex).unwrap();
+        let fast = AesGcm256::new(&key);
+        let oracle = reference::AesGcm256::new(&key);
+        assert_eq!(to_hex(&fast.seal(&iv, &aad, &pt)), ct_tag_hex, "fast seal");
+        assert_eq!(to_hex(&oracle.seal(&iv, &aad, &pt)), ct_tag_hex, "reference seal");
+        let sealed = from_hex(ct_tag_hex).unwrap();
+        assert_eq!(fast.open(&iv, &aad, &sealed).unwrap(), pt, "fast open");
+        assert_eq!(oracle.open(&iv, &aad, &sealed).unwrap(), pt, "reference open");
+        // Tag truncation must be rejected, never silently accepted.
+        if sealed.len() > TAG_LEN {
+            assert!(fast.open(&iv, &aad, &sealed[..sealed.len() - 1]).is_err());
+        }
+        assert!(fast.open(&iv, &aad, &sealed[..TAG_LEN - 1]).is_err());
+    }
+
+    #[test]
+    fn sp800_38d_case13_empty_everything() {
+        // Zero key, zero IV, no AAD, no plaintext: the tag is E_K(J0) ^ 0.
+        check_kat(
+            "0000000000000000000000000000000000000000000000000000000000000000",
+            "000000000000000000000000",
+            "",
+            "",
+            "530f8afbc74536b9a963b4f1c4cb738b",
+        );
+    }
+
+    #[test]
+    fn sp800_38d_case14_single_zero_block() {
+        check_kat(
+            "0000000000000000000000000000000000000000000000000000000000000000",
+            "000000000000000000000000",
+            "",
+            "00000000000000000000000000000000",
+            "cea7403d4d606b6e074ec5d3baf39d18d0d1c8a799996bf0265b98b5d48ab919",
+        );
+    }
+
+    #[test]
+    fn sp800_38d_case15_four_blocks_no_aad() {
+        check_kat(
+            "feffe9928665731c6d6a8f9467308308feffe9928665731c6d6a8f9467308308",
+            "cafebabefacedbaddecaf888",
+            "",
+            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
+             1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255",
+            "522dc1f099567d07f47f37a32a84427d643a8cdcbfe5c0c97598a2bd2555d1aa\
+             8cb08e48590dbb3da7b08b1056828838c5f61e6393ba7a0abcc9f662898015ad\
+             b094dac5d93471bdec1a502270e3cc6c",
+        );
+    }
+
+    #[test]
+    fn sp800_38d_case16_partial_block_with_aad() {
+        check_kat(
+            "feffe9928665731c6d6a8f9467308308feffe9928665731c6d6a8f9467308308",
+            "cafebabefacedbaddecaf888",
+            "feedfacedeadbeeffeedfacedeadbeefabaddad2",
+            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
+             1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39",
+            "522dc1f099567d07f47f37a32a84427d643a8cdcbfe5c0c97598a2bd2555d1aa\
+             8cb08e48590dbb3da7b08b1056828838c5f61e6393ba7a0abcc9f662\
+             76fc6ece0f4e1768cddf8853bb2d551b",
+        );
+    }
+
+    #[test]
+    fn cavp_aad_only_vector() {
+        // NIST CAVP gcmEncryptExtIV256, PTlen=0, AADlen=128, count 0.
+        check_kat(
+            "78dc4e0aaf52d935c3c01eea57428f00ca1fd475f5da86a49c8dd73d68c8e223",
+            "d79cf22d504cc793c3fb6c8a",
+            "b96baa8c1c75a671bfb2d08d06be5f36",
+            "",
+            "3e5d486aa2e30b22e040b85723a06e76",
+        );
+    }
+
+    #[test]
+    fn fast_and_reference_agree_on_boundary_lengths() {
+        let mut rng = crate::chacha::ChaChaRng::seed_from_u64(2024);
+        for len in [0usize, 1, 15, 16, 17, 31, 32, 33, 63, 64, 65, 127, 255] {
+            let mut key = [0u8; 32];
+            rng.fill_bytes(&mut key);
+            let mut pt = vec![0u8; len];
+            rng.fill_bytes(&mut pt);
+            let mut aad = vec![0u8; len % 40];
+            rng.fill_bytes(&mut aad);
+            let nonce = derive_nonce(9, 1, len as u64);
+            let fast = AesGcm256::new(&key);
+            let oracle = reference::AesGcm256::new(&key);
+            let a = fast.seal(&nonce, &aad, &pt);
+            let b = oracle.seal(&nonce, &aad, &pt);
+            assert_eq!(a, b, "len={len}");
+            assert_eq!(oracle.open(&nonce, &aad, &a).unwrap(), pt);
+            assert_eq!(fast.open(&nonce, &aad, &b).unwrap(), pt);
+        }
     }
 
     #[test]

@@ -7,11 +7,23 @@
 //!
 //! * [`sha2`] — SHA-256 and SHA-512 (FIPS 180-4), with round constants
 //!   *derived at runtime* from the fractional parts of the square/cube roots
-//!   of the first primes, so the tables cannot be mis-transcribed.
+//!   of the first primes, so the tables cannot be mis-transcribed. SHA-256
+//!   has a fully unrolled compression function plus fixed-input digests
+//!   ([`sha2::sha256_fixed64`] / [`sha2::sha256_fixed65`]) for the Merkle
+//!   hot path; the seed pipeline is frozen as [`sha2::reference`].
 //! * [`hmac`] — HMAC (RFC 2104) and HKDF (RFC 5869) over either hash.
 //! * [`aes`] — AES-128/256 block cipher (FIPS 197); the S-box is derived
-//!   from the GF(2^8) inverse + affine map rather than hardcoded.
-//! * [`gcm`] — AES-GCM authenticated encryption (NIST SP 800-38D).
+//!   from the GF(2^8) inverse + affine map rather than hardcoded, and the
+//!   encrypt direction runs on 32-bit T-tables derived from that S-box.
+//!   The byte-wise seed cipher is frozen as [`aes::reference`].
+//! * [`gcm`] — AES-GCM authenticated encryption (NIST SP 800-38D) with
+//!   Shoup 4-bit-table GHASH and multi-block CTR keystream generation; the
+//!   bit-by-bit seed pipeline is frozen as [`gcm::reference`].
+//!
+//! The fast/reference split follows the pattern set by [`ed25519`] in PR 1:
+//! every optimised path keeps its original implementation as a frozen
+//! oracle, and equivalence is enforced by property tests plus official
+//! known-answer vectors.
 //! * [`chacha`] — ChaCha20 (RFC 8439) used as a deterministic random bit
 //!   generator ([`chacha::ChaChaRng`]).
 //! * [`ed25519`] — Ed25519 signatures (RFC 8032) over a from-scratch

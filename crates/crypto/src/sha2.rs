@@ -7,6 +7,16 @@
 //! tests might only partially catch), this module *computes* them once at
 //! first use with exact integer root extraction (the `consts` module). The `abc`
 //! and empty-string known-answer tests then pin the whole construction.
+//!
+//! SHA-256 has a fast path: the compression function unrolls all 64 rounds
+//! with rotating registers over a circular 16-word message schedule,
+//! `finalize` writes the padding directly into the block buffer (the seed
+//! version pushed padding one byte at a time through `update`), and
+//! [`sha256_fixed64`] / [`sha256_fixed65`] digest fixed-size inputs — the
+//! shapes Merkle interior nodes (1 + 32 + 32 bytes) and 64-byte leaves
+//! take — with the padding block precomputed. The frozen seed pipeline is
+//! kept as [`reference::sha256`], and equivalence tests assert the two are
+//! byte-identical at every buffer-boundary length.
 
 use std::sync::OnceLock;
 
@@ -244,25 +254,177 @@ impl Sha256 {
         self.buf_len = data.len();
     }
 
-    /// Completes the hash and returns the 32-byte digest.
+    /// Completes the hash and returns the 32-byte digest. Padding is
+    /// written straight into the block buffer — one or two compressions,
+    /// no per-byte buffering.
     pub fn finalize(mut self) -> [u8; 32] {
         let bit_len = self.total_len.wrapping_mul(8);
-        self.update(&[0x80]);
-        // Cancel the length accounting for padding bytes.
-        self.total_len = self.total_len.wrapping_sub(1);
-        while self.buf_len != 56 {
-            self.update(&[0]);
-            self.total_len = self.total_len.wrapping_sub(1);
+        let len = self.buf_len;
+        self.buf[len] = 0x80;
+        if len < 56 {
+            self.buf[len + 1..56].fill(0);
+            self.buf[56..64].copy_from_slice(&bit_len.to_be_bytes());
+            compress256(&mut self.state, &self.buf.clone());
+        } else {
+            self.buf[len + 1..64].fill(0);
+            compress256(&mut self.state, &self.buf.clone());
+            let mut last = [0u8; 64];
+            last[56..64].copy_from_slice(&bit_len.to_be_bytes());
+            compress256(&mut self.state, &last);
         }
-        self.update(&bit_len.to_be_bytes());
+        digest_from_state256(&self.state)
+    }
+
+    #[inline]
+    fn compress(&mut self, block: &[u8; 64]) {
+        compress256(&mut self.state, block);
+    }
+}
+
+#[inline]
+fn digest_from_state256(state: &[u32; 8]) -> [u8; 32] {
+    let mut out = [0u8; 32];
+    for (i, w) in state.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&w.to_be_bytes());
+    }
+    out
+}
+
+/// The SHA-256 compression function: all 64 rounds unrolled with rotating
+/// registers, the message schedule kept in a circular 16-word window that
+/// is extended in-place inside rounds 16..64.
+#[allow(clippy::identity_op)] // `$base + 0` keeps the unrolled rows uniform
+fn compress256(state: &mut [u32; 8], block: &[u8; 64]) {
+    let k = k256();
+    let mut w = [0u32; 16];
+    for (i, slot) in w.iter_mut().enumerate() {
+        *slot = u32::from_be_bytes(block[i * 4..i * 4 + 4].try_into().unwrap());
+    }
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+    // One round with the registers in rotated positions: $h accumulates T1
+    // then becomes the next round's working `a`; $d absorbs T1 as the next
+    // `e`. Rotating the names instead of shifting eight registers removes
+    // seven moves per round.
+    macro_rules! round {
+        ($a:ident, $b:ident, $c:ident, $d:ident,
+         $e:ident, $f:ident, $g:ident, $h:ident, $t:expr) => {
+            $h = $h
+                .wrapping_add($e.rotate_right(6) ^ $e.rotate_right(11) ^ $e.rotate_right(25))
+                .wrapping_add(($e & $f) ^ (!$e & $g))
+                .wrapping_add(k[$t])
+                .wrapping_add(w[$t & 15]);
+            $d = $d.wrapping_add($h);
+            $h = $h
+                .wrapping_add($a.rotate_right(2) ^ $a.rotate_right(13) ^ $a.rotate_right(22))
+                .wrapping_add(($a & $b) ^ ($a & $c) ^ ($b & $c));
+        };
+    }
+    // Rounds 16..64 first extend the circular schedule window:
+    // w[t] = w[t-16] + σ0(w[t-15]) + w[t-7] + σ1(w[t-2]), indices mod 16.
+    macro_rules! sched_round {
+        ($a:ident, $b:ident, $c:ident, $d:ident,
+         $e:ident, $f:ident, $g:ident, $h:ident, $t:expr) => {
+            let w15 = w[($t + 1) & 15];
+            let w2 = w[($t + 14) & 15];
+            w[$t & 15] = w[$t & 15]
+                .wrapping_add(w15.rotate_right(7) ^ w15.rotate_right(18) ^ (w15 >> 3))
+                .wrapping_add(w[($t + 9) & 15])
+                .wrapping_add(w2.rotate_right(17) ^ w2.rotate_right(19) ^ (w2 >> 10));
+            round!($a, $b, $c, $d, $e, $f, $g, $h, $t);
+        };
+    }
+    macro_rules! eight_rounds {
+        ($mac:ident, $base:expr) => {
+            $mac!(a, b, c, d, e, f, g, h, $base + 0);
+            $mac!(h, a, b, c, d, e, f, g, $base + 1);
+            $mac!(g, h, a, b, c, d, e, f, $base + 2);
+            $mac!(f, g, h, a, b, c, d, e, $base + 3);
+            $mac!(e, f, g, h, a, b, c, d, $base + 4);
+            $mac!(d, e, f, g, h, a, b, c, $base + 5);
+            $mac!(c, d, e, f, g, h, a, b, $base + 6);
+            $mac!(b, c, d, e, f, g, h, a, $base + 7);
+        };
+    }
+    eight_rounds!(round, 0);
+    eight_rounds!(round, 8);
+    eight_rounds!(sched_round, 16);
+    eight_rounds!(sched_round, 24);
+    eight_rounds!(sched_round, 32);
+    eight_rounds!(sched_round, 40);
+    eight_rounds!(sched_round, 48);
+    eight_rounds!(sched_round, 56);
+    for (s, v) in state.iter_mut().zip([a, b, c, d, e, f, g, h]) {
+        *s = s.wrapping_add(v);
+    }
+}
+
+/// Digest of an exactly-64-byte input: one data compression plus one
+/// compression of the precomputed padding block (0x80, zeros, length 512).
+/// No buffering, no length bookkeeping.
+pub fn sha256_fixed64(block: &[u8; 64]) -> [u8; 32] {
+    let mut state = *h256();
+    compress256(&mut state, block);
+    let mut pad = [0u8; 64];
+    pad[0] = 0x80;
+    pad[62] = 0x02; // 512 bits, big-endian
+    compress256(&mut state, &pad);
+    digest_from_state256(&state)
+}
+
+/// Digest of an exactly-65-byte input — the shape of a Merkle interior
+/// node (0x01 prefix + two 32-byte children). The second block carries the
+/// one spill byte plus precomputed padding (length 520 bits).
+pub fn sha256_fixed65(data: &[u8; 65]) -> [u8; 32] {
+    let mut state = *h256();
+    compress256(&mut state, data[..64].try_into().unwrap());
+    let mut last = [0u8; 64];
+    last[0] = data[64];
+    last[1] = 0x80;
+    last[62] = 0x02; // 520 bits, big-endian
+    last[63] = 0x08;
+    compress256(&mut state, &last);
+    digest_from_state256(&state)
+}
+
+/// The frozen seed SHA-256 pipeline — sequential rounds, a 64-word
+/// materialized message schedule, and byte-at-a-time padding — kept as the
+/// equivalence oracle for the unrolled fast path (the same pattern as
+/// [`crate::ed25519::reference`]).
+pub mod reference {
+    use super::{h256, k256};
+
+    /// One-shot reference SHA-256 digest.
+    pub fn sha256(data: &[u8]) -> [u8; 32] {
+        let mut state = *h256();
+        let mut buf = [0u8; 64];
+        let mut buf_len = 0usize;
+        let absorb = |state: &mut [u32; 8], buf: &mut [u8; 64], buf_len: &mut usize, bytes: &[u8]| {
+            for &byte in bytes {
+                buf[*buf_len] = byte;
+                *buf_len += 1;
+                if *buf_len == 64 {
+                    compress_seed(state, buf);
+                    *buf_len = 0;
+                }
+            }
+        };
+        absorb(&mut state, &mut buf, &mut buf_len, data);
+        let bit_len = (data.len() as u64).wrapping_mul(8);
+        absorb(&mut state, &mut buf, &mut buf_len, &[0x80]);
+        while buf_len != 56 {
+            absorb(&mut state, &mut buf, &mut buf_len, &[0]);
+        }
+        absorb(&mut state, &mut buf, &mut buf_len, &bit_len.to_be_bytes());
         let mut out = [0u8; 32];
-        for (i, w) in self.state.iter().enumerate() {
+        for (i, w) in state.iter().enumerate() {
             out[i * 4..i * 4 + 4].copy_from_slice(&w.to_be_bytes());
         }
         out
     }
 
-    fn compress(&mut self, block: &[u8; 64]) {
+    /// The seed compression function: materialized 64-word schedule,
+    /// sequential register shifts.
+    fn compress_seed(state: &mut [u32; 8], block: &[u8; 64]) {
         let k = k256();
         let mut w = [0u32; 64];
         for i in 0..16 {
@@ -276,7 +438,7 @@ impl Sha256 {
                 .wrapping_add(w[i - 7])
                 .wrapping_add(s1);
         }
-        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
         for i in 0..64 {
             let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
             let ch = (e & f) ^ (!e & g);
@@ -297,7 +459,7 @@ impl Sha256 {
             b = a;
             a = t1.wrapping_add(t2);
         }
-        for (s, v) in self.state.iter_mut().zip([a, b, c, d, e, f, g, h]) {
+        for (s, v) in state.iter_mut().zip([a, b, c, d, e, f, g, h]) {
             *s = s.wrapping_add(v);
         }
     }
@@ -470,6 +632,45 @@ mod tests {
             "cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce9ce\
              47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af927da3e"
         );
+    }
+
+    #[test]
+    fn sha256_two_block_896_bit_vector() {
+        // NIST FIPS 180 example: 896-bit (112-byte) message spanning the
+        // one-block/two-block padding boundary.
+        assert_eq!(
+            to_hex(&sha256(
+                b"abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmn\
+                  hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu"
+            )),
+            "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1"
+        );
+    }
+
+    #[test]
+    fn fixed_input_digests_match_streaming() {
+        let mut block64 = [0u8; 64];
+        let mut block65 = [0u8; 65];
+        for (i, b) in block64.iter_mut().enumerate() {
+            *b = (i * 7 + 3) as u8;
+        }
+        for (i, b) in block65.iter_mut().enumerate() {
+            *b = (i * 11 + 5) as u8;
+        }
+        assert_eq!(sha256_fixed64(&block64), sha256(&block64));
+        assert_eq!(sha256_fixed65(&block65), sha256(&block65));
+        // The Merkle interior-node shape: domain byte + two child digests.
+        let mut node = [0u8; 65];
+        node[0] = 0x01;
+        assert_eq!(sha256_fixed65(&node), sha256(&node));
+    }
+
+    #[test]
+    fn fast_path_matches_reference_at_boundary_lengths() {
+        let data: Vec<u8> = (0..4200u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+        for len in [0, 1, 55, 56, 57, 63, 64, 65, 127, 128, 129, 4095, 4096, 4097] {
+            assert_eq!(sha256(&data[..len]), reference::sha256(&data[..len]), "len {len}");
+        }
     }
 
     #[test]

@@ -253,4 +253,36 @@ proptest! {
             prop_assert_eq!(culprits, expected);
         }
     }
+
+    #[test]
+    fn fast_gcm_equals_reference_oracle(
+        key in any::<[u8; 32]>(),
+        nonce in any::<[u8; 12]>(),
+        aad in proptest::collection::vec(any::<u8>(), 0..48),
+        plaintext in proptest::collection::vec(any::<u8>(), 0..300),
+    ) {
+        use ccf_crypto::gcm::reference;
+        let fast = AesGcm256::new(&key);
+        let slow = reference::AesGcm256::new(&key);
+        let sealed_fast = fast.seal(&nonce, &aad, &plaintext);
+        let sealed_slow = slow.seal(&nonce, &aad, &plaintext);
+        prop_assert_eq!(&sealed_fast, &sealed_slow);
+        // Cross-open: each pipeline accepts the other's ciphertext.
+        prop_assert_eq!(fast.open(&nonce, &aad, &sealed_slow).unwrap(), plaintext.clone());
+        prop_assert_eq!(slow.open(&nonce, &aad, &sealed_fast).unwrap(), plaintext);
+        // Both reject the same tampered ciphertext.
+        if !sealed_fast.is_empty() {
+            let mut bad = sealed_fast;
+            bad[0] ^= 1;
+            prop_assert!(fast.open(&nonce, &aad, &bad).is_err());
+            prop_assert!(slow.open(&nonce, &aad, &bad).is_err());
+        }
+    }
+
+    #[test]
+    fn fast_sha256_equals_reference_oracle(
+        data in proptest::collection::vec(any::<u8>(), 0..300),
+    ) {
+        prop_assert_eq!(sha256(&data), ccf_crypto::sha2::reference::sha256(&data));
+    }
 }

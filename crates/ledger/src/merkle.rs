@@ -14,7 +14,7 @@
 
 use std::cell::Cell;
 
-use ccf_crypto::sha2::Sha256;
+use ccf_crypto::sha2::{sha256_fixed65, Sha256};
 use ccf_crypto::Digest32;
 
 fn leaf_hash(leaf: &[u8]) -> Digest32 {
@@ -24,12 +24,14 @@ fn leaf_hash(leaf: &[u8]) -> Digest32 {
     h.finalize()
 }
 
+// An interior node is always exactly 65 bytes (domain byte + two child
+// digests), so the fixed-input digest skips all padding bookkeeping.
 fn node_hash(left: &Digest32, right: &Digest32) -> Digest32 {
-    let mut h = Sha256::new();
-    h.update(&[0x01]);
-    h.update(left);
-    h.update(right);
-    h.finalize()
+    let mut buf = [0u8; 65];
+    buf[0] = 0x01;
+    buf[1..33].copy_from_slice(left);
+    buf[33..65].copy_from_slice(right);
+    sha256_fixed65(&buf)
 }
 
 /// The empty tree's root: H("ccf empty merkle tree").

@@ -6,13 +6,30 @@
 //! of historical entries picks the secret that was current at that seqno.
 //! The AAD binds every ciphertext to its transaction ID and to the digest
 //! of the public part, so entries cannot be spliced together.
+//!
+//! # Context caching
+//!
+//! Preparing an [`AesGcm256`] means expanding the AES key schedule and
+//! building the GHASH multiplication tables — hundreds of times the cost of
+//! sealing a small write set. Each secret version therefore carries a
+//! lazily-built, `Arc`-shared context: the first seal/open under a version
+//! pays the setup once per process, and every clone of the `LedgerSecrets`
+//! (the node clones them into propose closures and the indexer) shares the
+//! same prepared context. [`LedgerSecrets::context_setups`] exposes the
+//! setup count so tests can pin "one key schedule per version, not per
+//! call"; `crypto.gcm_*` counters report cache behaviour to `ccf-obs`.
 
 use crate::entry::TxId;
 use ccf_crypto::gcm::{derive_nonce, AesGcm256};
 use ccf_crypto::{CryptoError, Digest32};
 use ccf_kv::codec::{CodecError, Reader, Writer};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 const NONCE_LABEL_LEDGER: u8 = 0x01;
+
+/// Histogram buckets for private write-set sizes (bytes).
+const SEAL_SIZE_BUCKETS: &[u64] = &[64, 256, 1024, 4096, 16384, 65536];
 
 /// One version of the ledger secret.
 #[derive(Clone)]
@@ -23,17 +40,51 @@ pub struct SecretVersion {
     pub key: [u8; 32],
 }
 
+/// Cached observability handles (`crypto.gcm_*`, `ledger.seal_*`). Clones
+/// share the underlying counters, mirroring `MerkleMetrics`.
+#[derive(Clone)]
+struct SecretsMetrics {
+    sealed_bytes: ccf_obs::Counter,
+    opened_bytes: ccf_obs::Counter,
+    ctx_cache_hits: ccf_obs::Counter,
+    ctx_cache_misses: ccf_obs::Counter,
+    seal_writeset_bytes: ccf_obs::Histogram,
+}
+
+impl SecretsMetrics {
+    fn new(reg: &ccf_obs::Registry) -> SecretsMetrics {
+        SecretsMetrics {
+            sealed_bytes: reg.counter("crypto.gcm_sealed_bytes"),
+            opened_bytes: reg.counter("crypto.gcm_opened_bytes"),
+            ctx_cache_hits: reg.counter("crypto.gcm_ctx_cache_hits"),
+            ctx_cache_misses: reg.counter("crypto.gcm_ctx_cache_misses"),
+            seal_writeset_bytes: reg.histogram("ledger.seal_writeset_bytes", SEAL_SIZE_BUCKETS),
+        }
+    }
+}
+
 /// The ordered set of ledger secret versions held inside the enclave.
 #[derive(Clone, Default)]
 pub struct LedgerSecrets {
     // Sorted by from_seqno ascending; always non-empty after init.
     versions: Vec<SecretVersion>,
+    // Parallel to `versions`: the prepared GCM context for each secret,
+    // built on first use and shared across clones via `Arc`.
+    ctxs: Vec<Arc<OnceLock<AesGcm256>>>,
+    // Number of key-schedule setups performed by this instance and its
+    // clones — the regression hook for "one setup per version per process".
+    setups: Arc<AtomicU64>,
+    metrics: Option<SecretsMetrics>,
+}
+
+fn fresh_ctxs(n: usize) -> Vec<Arc<OnceLock<AesGcm256>>> {
+    (0..n).map(|_| Arc::new(OnceLock::new())).collect()
 }
 
 impl LedgerSecrets {
     /// Initializes with a single secret applying from the first entry.
     pub fn new(initial_key: [u8; 32]) -> LedgerSecrets {
-        LedgerSecrets { versions: vec![SecretVersion { from_seqno: 1, key: initial_key }] }
+        LedgerSecrets::from_versions(vec![SecretVersion { from_seqno: 1, key: initial_key }])
     }
 
     /// Restores from explicit versions (disaster recovery). Versions must
@@ -44,7 +95,20 @@ impl LedgerSecrets {
             versions.windows(2).all(|w| w[0].from_seqno < w[1].from_seqno),
             "secret versions must be strictly ordered"
         );
-        LedgerSecrets { versions }
+        let ctxs = fresh_ctxs(versions.len());
+        LedgerSecrets {
+            versions,
+            ctxs,
+            setups: Arc::new(AtomicU64::new(0)),
+            metrics: None,
+        }
+    }
+
+    /// Attaches observability counters (`crypto.gcm_*`,
+    /// `ledger.seal_writeset_bytes`) from `reg`. Without this the secrets
+    /// record nothing.
+    pub fn set_registry(&mut self, reg: &ccf_obs::Registry) {
+        self.metrics = Some(SecretsMetrics::new(reg));
     }
 
     /// Adds a new secret applying from `from_seqno` (governance rekey).
@@ -54,15 +118,42 @@ impl LedgerSecrets {
             "rekey must move forward"
         );
         self.versions.push(SecretVersion { from_seqno, key });
+        self.ctxs.push(Arc::new(OnceLock::new()));
     }
 
     /// The secret in force at `seqno`.
     pub fn key_for(&self, seqno: u64) -> Option<&[u8; 32]> {
-        self.versions
-            .iter()
-            .rev()
-            .find(|v| v.from_seqno <= seqno)
-            .map(|v| &v.key)
+        self.version_index_for(seqno).map(|i| &self.versions[i].key)
+    }
+
+    fn version_index_for(&self, seqno: u64) -> Option<usize> {
+        self.versions.iter().rposition(|v| v.from_seqno <= seqno)
+    }
+
+    /// The prepared GCM context for version `idx`, building (and counting)
+    /// it on first use.
+    fn context(&self, idx: usize) -> &AesGcm256 {
+        let cell = &self.ctxs[idx];
+        if let Some(ctx) = cell.get() {
+            if let Some(m) = &self.metrics {
+                m.ctx_cache_hits.inc();
+            }
+            return ctx;
+        }
+        cell.get_or_init(|| {
+            self.setups.fetch_add(1, Ordering::Relaxed);
+            if let Some(m) = &self.metrics {
+                m.ctx_cache_misses.inc();
+            }
+            AesGcm256::new(&self.versions[idx].key)
+        })
+    }
+
+    /// How many AES-GCM key-schedule setups this instance (and its clones)
+    /// have performed. Stays at `version_count()` no matter how many
+    /// seal/open calls are made — the cache regression test pins this.
+    pub fn context_setups(&self) -> u64 {
+        self.setups.load(Ordering::Relaxed)
     }
 
     /// Number of secret versions (1 unless rekeyed).
@@ -86,8 +177,12 @@ impl LedgerSecrets {
         if private_plain.is_empty() {
             return Vec::new();
         }
-        let key = self.key_for(txid.seqno).expect("no ledger secret for seqno");
-        let gcm = AesGcm256::new(key);
+        let idx = self.version_index_for(txid.seqno).expect("no ledger secret for seqno");
+        let gcm = self.context(idx);
+        if let Some(m) = &self.metrics {
+            m.sealed_bytes.add(private_plain.len() as u64);
+            m.seal_writeset_bytes.observe(private_plain.len() as u64);
+        }
         let nonce = derive_nonce(NONCE_LABEL_LEDGER, txid.view, txid.seqno);
         gcm.seal(&nonce, &Self::aad(txid, public_digest), private_plain)
     }
@@ -102,12 +197,16 @@ impl LedgerSecrets {
         if private_enc.is_empty() {
             return Ok(Vec::new());
         }
-        let key = self
-            .key_for(txid.seqno)
+        let idx = self
+            .version_index_for(txid.seqno)
             .ok_or(CryptoError::BadShares("no ledger secret covers this seqno"))?;
-        let gcm = AesGcm256::new(key);
+        let gcm = self.context(idx);
         let nonce = derive_nonce(NONCE_LABEL_LEDGER, txid.view, txid.seqno);
-        gcm.open(&nonce, &Self::aad(txid, public_digest), private_enc)
+        let plain = gcm.open(&nonce, &Self::aad(txid, public_digest), private_enc)?;
+        if let Some(m) = &self.metrics {
+            m.opened_bytes.add(plain.len() as u64);
+        }
+        Ok(plain)
     }
 
     fn aad(txid: TxId, public_digest: &Digest32) -> Vec<u8> {
@@ -150,24 +249,47 @@ impl LedgerSecrets {
     }
 }
 
-/// Wraps serialized ledger secrets under the *ledger secret wrapping key*
-/// — the key that is Shamir-shared to consortium members (§5.2). The
-/// wrapped blob is what `public:ccf.internal.ledger_secret` stores.
-pub fn wrap(wrapping_key: &[u8; 32], secrets: &LedgerSecrets) -> Vec<u8> {
-    let gcm = AesGcm256::new(wrapping_key);
-    let nonce = derive_nonce(0x02, 0, 0);
-    gcm.seal(&nonce, b"ccf-ledger-secret-wrap", &secrets.serialize())
+/// A prepared wrapping context for the *ledger secret wrapping key* — the
+/// key that is Shamir-shared to consortium members (§5.2). Callers that
+/// wrap and unwrap repeatedly (governance rekey proposals, recovery) hold
+/// one `SecretWrapper` and pay the key-schedule setup once.
+pub struct SecretWrapper {
+    gcm: AesGcm256,
 }
 
-/// Unwraps [`wrap`] output given the reconstructed wrapping key.
+impl SecretWrapper {
+    /// Prepares a wrapping context from the raw wrapping key.
+    pub fn new(wrapping_key: &[u8; 32]) -> SecretWrapper {
+        SecretWrapper { gcm: AesGcm256::new(wrapping_key) }
+    }
+
+    /// Wraps serialized ledger secrets. The wrapped blob is what
+    /// `public:ccf.internal.ledger_secret` stores.
+    pub fn wrap(&self, secrets: &LedgerSecrets) -> Vec<u8> {
+        let nonce = derive_nonce(0x02, 0, 0);
+        self.gcm.seal(&nonce, b"ccf-ledger-secret-wrap", &secrets.serialize())
+    }
+
+    /// Unwraps [`SecretWrapper::wrap`] output.
+    pub fn unwrap(&self, wrapped: &[u8]) -> Result<LedgerSecrets, CryptoError> {
+        let nonce = derive_nonce(0x02, 0, 0);
+        let plain = self.gcm.open(&nonce, b"ccf-ledger-secret-wrap", wrapped)?;
+        LedgerSecrets::deserialize(&plain)
+            .map_err(|_| CryptoError::Encoding("bad wrapped secrets"))
+    }
+}
+
+/// One-shot convenience over [`SecretWrapper::wrap`].
+pub fn wrap(wrapping_key: &[u8; 32], secrets: &LedgerSecrets) -> Vec<u8> {
+    SecretWrapper::new(wrapping_key).wrap(secrets)
+}
+
+/// One-shot convenience over [`SecretWrapper::unwrap`].
 pub fn unwrap_with(
     wrapping_key: &[u8; 32],
     wrapped: &[u8],
 ) -> Result<LedgerSecrets, CryptoError> {
-    let gcm = AesGcm256::new(wrapping_key);
-    let nonce = derive_nonce(0x02, 0, 0);
-    let plain = gcm.open(&nonce, b"ccf-ledger-secret-wrap", wrapped)?;
-    LedgerSecrets::deserialize(&plain).map_err(|_| CryptoError::Encoding("bad wrapped secrets"))
+    SecretWrapper::new(wrapping_key).unwrap(wrapped)
 }
 
 #[cfg(test)]
@@ -243,6 +365,71 @@ mod tests {
         let mut tampered = wrapped.clone();
         tampered[0] ^= 1;
         assert!(unwrap_with(&wk, &tampered).is_err());
+    }
+
+    #[test]
+    fn context_cache_one_setup_per_version() {
+        let secrets = LedgerSecrets::new([1u8; 32]);
+        assert_eq!(secrets.context_setups(), 0, "setup is lazy");
+        let pd = [0u8; 32];
+        for seqno in 1..=100 {
+            let txid = TxId::new(1, seqno);
+            let ct = secrets.encrypt(txid, &pd, b"payload");
+            secrets.decrypt(txid, &pd, &ct).unwrap();
+        }
+        assert_eq!(secrets.context_setups(), 1, "one key schedule per version, not per call");
+    }
+
+    #[test]
+    fn context_cache_shared_across_clones_and_rekeys() {
+        let mut secrets = LedgerSecrets::new([1u8; 32]);
+        let pd = [0u8; 32];
+        secrets.encrypt(TxId::new(1, 1), &pd, b"x");
+        let clone = secrets.clone();
+        // The clone reuses the already-built context rather than its own.
+        clone.encrypt(TxId::new(1, 2), &pd, b"y");
+        assert_eq!(secrets.context_setups(), 1);
+        assert_eq!(clone.context_setups(), 1);
+        // A rekey adds exactly one more setup, on first use of the new key.
+        secrets.rekey(100, [2u8; 32]);
+        secrets.encrypt(TxId::new(1, 100), &pd, b"z");
+        secrets.encrypt(TxId::new(1, 101), &pd, b"w");
+        assert_eq!(secrets.context_setups(), 2);
+        // Old-version traffic still hits the original cached context.
+        secrets.encrypt(TxId::new(1, 50), &pd, b"old");
+        assert_eq!(secrets.context_setups(), 2);
+    }
+
+    #[test]
+    fn cache_metrics_report_hits_and_misses() {
+        let reg = ccf_obs::Registry::new();
+        let mut secrets = LedgerSecrets::new([1u8; 32]);
+        secrets.set_registry(&reg);
+        let pd = [0u8; 32];
+        for seqno in 1..=10 {
+            secrets.encrypt(TxId::new(1, seqno), &pd, b"payload");
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters.get("crypto.gcm_ctx_cache_misses"), Some(&1));
+        assert_eq!(snap.counters.get("crypto.gcm_ctx_cache_hits"), Some(&9));
+        assert_eq!(snap.counters.get("crypto.gcm_sealed_bytes"), Some(&70));
+        let hist = snap.histograms.get("ledger.seal_writeset_bytes").unwrap();
+        assert_eq!(hist.count, 10);
+    }
+
+    #[test]
+    fn secret_wrapper_matches_free_functions() {
+        let mut secrets = LedgerSecrets::new([7u8; 32]);
+        secrets.rekey(10, [8u8; 32]);
+        let wk = [9u8; 32];
+        let wrapper = SecretWrapper::new(&wk);
+        let wrapped = wrapper.wrap(&secrets);
+        // Wrapper output and free-function output interoperate.
+        assert_eq!(wrapped, wrap(&wk, &secrets));
+        let restored = wrapper.unwrap(&wrapped).unwrap();
+        assert_eq!(restored.version_count(), 2);
+        let restored2 = unwrap_with(&wk, &wrapped).unwrap();
+        assert_eq!(restored2.key_for(15), Some(&[8u8; 32]));
     }
 
     #[test]

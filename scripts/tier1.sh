@@ -22,6 +22,9 @@ cargo test -q --release -p ccf-consensus --test replica_hardening
 echo "== tier1: bounded chaos sweep (release, fixed seeds)"
 cargo run -q --release -p ccf-bench --bin chaos -- --seeds 25
 
+echo "== tier1: symmetric fast-path smoke (fast == reference, emits JSON)"
+cargo run -q --release -p ccf-bench --bin bench_symmetric -- --smoke
+
 echo "== tier1: clippy -D warnings (touched crates)"
 cargo clippy -q -p ccf-crypto -p ccf-ledger -p ccf-sim -p ccf-obs -p ccf-consensus -p ccf-core -p ccf-bench -- -D warnings
 

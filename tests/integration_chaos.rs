@@ -57,4 +57,21 @@ fn service_chaos_metrics_cover_every_subsystem() {
     assert!(c("ledger.merkle_appends") > 0, "merkle uninstrumented");
     assert!(c("ledger.encrypted_bytes") > 0, "ledger encryption uninstrumented");
     assert!(c("net.messages_sent") > 0, "network uninstrumented");
+    // Symmetric fast path: private-map seals flow through the cached GCM
+    // contexts, so sealed bytes and cache traffic must both be visible, and
+    // the cache must be doing its job (far more hits than key setups).
+    assert!(c("crypto.gcm_sealed_bytes") > 0, "gcm seal path uninstrumented");
+    assert!(c("crypto.gcm_ctx_cache_misses") > 0, "gcm cache setup uncounted");
+    assert!(
+        c("crypto.gcm_ctx_cache_hits") > c("crypto.gcm_ctx_cache_misses"),
+        "gcm context cache ineffective: {} hits vs {} misses",
+        c("crypto.gcm_ctx_cache_hits"),
+        c("crypto.gcm_ctx_cache_misses")
+    );
+    let seal_hist = report
+        .metrics
+        .histograms
+        .get("ledger.seal_writeset_bytes")
+        .expect("seal size histogram registered");
+    assert!(seal_hist.count > 0, "seal size histogram empty");
 }
