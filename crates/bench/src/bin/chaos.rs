@@ -150,14 +150,20 @@ fn main() {
                                 println!("    {v}");
                             }
                             if let Some(baseline) = &last_pass_metrics {
-                                let diff = report.metrics.diff_counters(baseline);
+                                let diff = report.metrics.diff(baseline);
                                 if !diff.is_empty() {
                                     println!(
                                         "  metrics diff vs last passing seed (failing / passing):"
                                     );
-                                    for (name, a, b) in diff {
-                                        println!("    {name}: {a} / {b}");
+                                    for line in diff.render().lines() {
+                                        println!("    {line}");
                                     }
+                                }
+                            }
+                            if let Some(forensics) = &report.forensics {
+                                println!("  crash forensics:");
+                                for line in forensics.render().lines() {
+                                    println!("    {line}");
                                 }
                             }
                         }

@@ -9,7 +9,7 @@
 //! and write throughput that grows and then plateaus as the signature
 //! interval increases (the §6.4 commit-latency/throughput trade-off).
 
-use ccf_bench::{bar, bench_opts, fmt_rate, logging_app, measure, start_rt, MESSAGE};
+use ccf_bench::{bar, bench_opts, fmt_rate, logging_app, measure, percentile_index, start_rt, MESSAGE};
 use ccf_core::app::{Caller, Request};
 use std::time::{Duration, Instant};
 
@@ -40,7 +40,7 @@ fn main() {
 
     let mut sorted = latencies_us.clone();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let p = |q: f64| sorted[((sorted.len() - 1) as f64 * q) as usize];
+    let p = |q: f64| sorted[percentile_index(sorted.len(), q)];
     println!("Figure 8 (left): response time of {n_requests} sequential writes, signature every 100");
     println!("  p50 {:.1} µs   p90 {:.1} µs   p99 {:.1} µs   max {:.1} µs", p(0.5), p(0.9), p(0.99), p(1.0));
 

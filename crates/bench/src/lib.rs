@@ -235,6 +235,42 @@ pub fn bar(value: f64, max: f64, width: usize) -> String {
     "█".repeat(n.min(width))
 }
 
+/// Index of the `q`-quantile element in a sorted sample of `len` items,
+/// rounding half-up instead of truncating (so the p99 of 1000 samples is
+/// element 989, not 988 — truncation systematically under-reports tail
+/// latency). `q` is in `[0, 1]`.
+pub fn percentile_index(len: usize, q: f64) -> usize {
+    if len == 0 {
+        return 0;
+    }
+    let idx = ((len - 1) as f64 * q + 0.5) as usize;
+    idx.min(len - 1)
+}
+
+/// Nearest-rank percentile over histogram buckets, in pure integer
+/// arithmetic (deterministic across platforms). `q_num / q_den` is the
+/// quantile (e.g. 99/100 for p99). Returns the inclusive upper bound of
+/// the bucket containing that rank; observations past the last bound live
+/// in the overflow bucket, reported as `2 * last_bound` to keep the value
+/// finite and obviously saturated. Returns 0 for an empty histogram.
+pub fn hist_percentile(h: &ccf_obs::HistogramSnapshot, q_num: u64, q_den: u64) -> u64 {
+    if h.count == 0 {
+        return 0;
+    }
+    let rank = (h.count * q_num).div_ceil(q_den).max(1);
+    let mut seen = 0u64;
+    for (i, &c) in h.buckets.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            return match h.bounds.get(i) {
+                Some(&b) => b,
+                None => h.bounds.last().copied().unwrap_or(0) * 2,
+            };
+        }
+    }
+    h.bounds.last().copied().unwrap_or(0) * 2
+}
+
 /// Writes an observability snapshot to `OBS_<name>.json` in the current
 /// directory (a generated artifact — gitignored) and returns the path.
 /// Failures are reported but not fatal: metrics never break a bench run.

@@ -7,7 +7,7 @@
 //! (re-running with events removed) is meaningful.
 
 use crate::harness::Cluster;
-use crate::invariants::{InvariantChecker, Violation};
+use crate::invariants::{forensics, Forensics, InvariantChecker, Violation};
 use crate::replica::ReplicaConfig;
 use crate::{Config, NodeId, Seqno};
 use ccf_sim::nemesis::{FaultSchedule, NemesisOp};
@@ -31,6 +31,9 @@ pub struct ChaosReport {
     /// End-of-run observability snapshot (deterministic in the seed:
     /// same-seed runs produce `==` snapshots and byte-identical JSON).
     pub metrics: ccf_obs::Snapshot,
+    /// Crash-forensics bundle (flight-recorder tail + critical paths of
+    /// affected traces), assembled only when an invariant tripped.
+    pub forensics: Option<Forensics>,
 }
 
 impl ChaosReport {
@@ -73,6 +76,7 @@ pub fn run_consensus_chaos(seed: u64, schedule: &FaultSchedule, horizon: Time) -
         faults_applied: 0,
         violations: Vec::new(),
         metrics: ccf_obs::Snapshot::default(),
+        forensics: None,
     };
     let mut next_event = 0;
     let mut added_nodes: u64 = 0;
@@ -89,6 +93,7 @@ pub fn run_consensus_chaos(seed: u64, schedule: &FaultSchedule, horizon: Time) -
         checker.check_cluster(&cluster);
         if !checker.ok() {
             report.violations = checker.violations().to_vec();
+            report.forensics = Some(forensics(cluster.obs(), 64, 4));
             break;
         }
     }

@@ -63,6 +63,13 @@ impl SignatureFactory for KeyedSignatureFactory {
 
 /// Builds a plain user entry for tests/benches (no private part).
 pub fn user_entry(txid: TxId, payload: &[u8]) -> ReplicatedEntry {
+    traced_user_entry(txid, payload, ccf_obs::TraceId::NONE)
+}
+
+/// [`user_entry`] carrying a causal-trace id (DESIGN.md §12); the id
+/// rides the entry through replication so every replica records its own
+/// per-stage spans for it.
+pub fn traced_user_entry(txid: TxId, payload: &[u8], trace: ccf_obs::TraceId) -> ReplicatedEntry {
     let mut ws = WriteSet::new();
     ws.write(MapName::new("public:app.data"), txid.seqno.to_le_bytes().to_vec(), payload.to_vec());
     ReplicatedEntry {
@@ -74,6 +81,7 @@ pub fn user_entry(txid: TxId, payload: &[u8]) -> ReplicatedEntry {
             claims_digest: [0u8; 32],
         },
         config: None,
+        traces: if trace.is_none() { Vec::new() } else { vec![trace] },
     }
 }
 
@@ -95,6 +103,7 @@ pub fn reconfig_entry(txid: TxId, config: &Config) -> ReplicatedEntry {
             claims_digest: [0u8; 32],
         },
         config: Some(config.clone()),
+        traces: Vec::new(),
     }
 }
 
@@ -134,6 +143,7 @@ impl Cluster {
         }
         let mut net = SimNet::new(net_cfg, seed);
         net.set_registry(&obs);
+        net.set_flight_tagger(Message::kind);
         Cluster {
             replicas,
             net,
@@ -248,12 +258,18 @@ impl Cluster {
     }
 
     /// Proposes a user entry on the current primary. Returns the TxId.
+    ///
+    /// Every harness proposal is traced: a fresh [`ccf_obs::TraceId`] is
+    /// minted (dense from 1, so same-seed runs assign identical ids) and
+    /// piggybacked on the entry, giving consensus-level runs full
+    /// per-stage causal traces without a node layer on top.
     pub fn propose(&mut self, payload: &[u8]) -> Result<TxId, ProposeError> {
         let primary = self
             .primary()
             .ok_or(ProposeError::NotPrimary(None))?;
+        let trace = self.obs.mint_trace();
         let replica = self.replicas.get_mut(&primary).unwrap();
-        replica.propose(|txid| user_entry(txid, payload))
+        replica.propose(|txid| traced_user_entry(txid, payload, trace))
     }
 
     /// Proposes a reconfiguration on the current primary.

@@ -216,3 +216,59 @@ impl InvariantChecker {
         }
     }
 }
+
+/// A crash-forensics bundle assembled from an observability registry at
+/// the moment an invariant trips: the tail of the bounded flight recorder
+/// (already causally ordered — ring order is global sequence order) plus
+/// the critical paths of the traces most likely implicated (in-flight,
+/// i.e. not yet committed; if every trace committed, the most recent
+/// ones). See DESIGN.md §12.
+#[derive(Debug, Clone)]
+pub struct Forensics {
+    /// Last protocol/net events, oldest first.
+    pub flight: Vec<ccf_obs::FlightRecord>,
+    /// Critical paths of affected traces.
+    pub critical_paths: Vec<ccf_obs::trace::CriticalPath>,
+}
+
+impl Forensics {
+    /// Multi-line human-readable dump (flight excerpt, then traces).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("flight recorder (last {} events):\n", self.flight.len()));
+        for r in &self.flight {
+            out.push_str("  ");
+            out.push_str(&r.render());
+            out.push('\n');
+        }
+        out.push_str(&format!("affected traces ({}):\n", self.critical_paths.len()));
+        for p in &self.critical_paths {
+            out.push_str("  ");
+            out.push_str(&p.render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Assembles a [`Forensics`] bundle from `reg`, keeping at most
+/// `max_events` flight records and `max_traces` trace critical paths.
+pub fn forensics(reg: &ccf_obs::Registry, max_events: usize, max_traces: usize) -> Forensics {
+    let snap = reg.snapshot();
+    let mut flight = snap.flight.clone();
+    if flight.len() > max_events {
+        flight.drain(..flight.len() - max_events);
+    }
+    let trees = ccf_obs::trace::assemble(&snap.trace_spans);
+    // Affected = traces whose commit stage never closed; when everything
+    // committed (violation unrelated to any one request), show the most
+    // recent traces instead.
+    let affected: Vec<&ccf_obs::trace::TraceTree> = {
+        let inflight: Vec<_> = trees.iter().filter(|t| !t.committed()).collect();
+        if inflight.is_empty() { trees.iter().collect() } else { inflight }
+    };
+    let skip = affected.len().saturating_sub(max_traces);
+    let critical_paths =
+        affected.into_iter().skip(skip).map(ccf_obs::trace::critical_path).collect();
+    Forensics { flight, critical_paths }
+}

@@ -8,6 +8,7 @@
 
 use crate::{ActiveConfig, NodeId, Seqno, View};
 use ccf_ledger::{LedgerEntry, TxId};
+use ccf_obs::TraceId;
 
 /// An entry as replicated: the ledger entry plus, for reconfiguration
 /// transactions, the configuration it installs (so backups can activate it
@@ -18,6 +19,13 @@ pub struct ReplicatedEntry {
     pub entry: LedgerEntry,
     /// For reconfiguration entries: the new node set.
     pub config: Option<crate::Config>,
+    /// Causal-trace piggyback (DESIGN.md §12): the trace ids this entry
+    /// *covers*. A traced user entry carries its own id (one element); a
+    /// signature transaction carries the ids of every unsigned traced
+    /// entry it signs over; untraced entries carry none. Backups use
+    /// this to record per-node `append`/`sign`/`commit` stage spans
+    /// without any extra protocol round.
+    pub traces: Vec<TraceId>,
 }
 
 /// `append_entries`: ledger replication plus heartbeat (§4.1).
@@ -50,6 +58,10 @@ pub struct AppendEntriesResponse {
     /// On failure: the responder's best guess at the latest common point,
     /// from which the primary should resend (§4.2).
     pub last_seqno: Seqno,
+    /// Causal-trace piggyback: the trace ids of the traced entries this
+    /// ack newly appended (empty on failure and for pure heartbeats), so
+    /// the primary's flight recorder can attribute acks to requests.
+    pub traces: Vec<TraceId>,
 }
 
 /// `request_vote`: sent by candidates, carrying the view and seqno of the

@@ -16,6 +16,7 @@ use ccf_crypto::chacha::ChaChaRng;
 use ccf_crypto::Digest32;
 use ccf_ledger::entry::EntryKind;
 use ccf_ledger::{LedgerEntry, MerkleTree, TxId};
+use ccf_obs::TraceId;
 use std::collections::{BTreeSet, HashMap};
 
 /// Milliseconds of virtual (or real) time.
@@ -156,11 +157,17 @@ impl std::fmt::Display for ProposeError {
 const BATCH_BUCKETS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128, 256];
 /// Histogram bounds for rollback depths (entries discarded per rollback).
 const ROLLBACK_BUCKETS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128];
+/// Histogram bounds for per-stage virtual-time latencies (ms). Shared by
+/// every `*_latency_ms` histogram so bench percentiles compare across
+/// stages bucket-for-bucket.
+pub const LATENCY_BUCKETS: &[u64] =
+    &[1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000];
 
 /// Cached observability handles (`consensus.*`); created once by
 /// [`Replica::set_registry`] so hot-path increments are lock-free.
 struct ReplicaMetrics {
     reg: ccf_obs::Registry,
+    node: ccf_obs::NodeRef,
     elections_started: ccf_obs::Counter,
     elections_won: ccf_obs::Counter,
     append_batches: ccf_obs::Counter,
@@ -175,12 +182,17 @@ struct ReplicaMetrics {
     invariant_rejections: ccf_obs::Counter,
     snapshots_sent: ccf_obs::Counter,
     snapshots_installed: ccf_obs::Counter,
+    sign_latency: ccf_obs::Histogram,
+    replication_latency: ccf_obs::Histogram,
+    commit_latency: ccf_obs::Histogram,
+    traces_dropped: ccf_obs::Counter,
 }
 
 impl ReplicaMetrics {
-    fn new(reg: &ccf_obs::Registry) -> ReplicaMetrics {
+    fn new(reg: &ccf_obs::Registry, id: &NodeId) -> ReplicaMetrics {
         ReplicaMetrics {
             reg: reg.clone(),
+            node: reg.node_ref(id),
             elections_started: reg.counter("consensus.elections_started"),
             elections_won: reg.counter("consensus.elections_won"),
             append_batches: reg.counter("consensus.append_batches"),
@@ -195,8 +207,28 @@ impl ReplicaMetrics {
             invariant_rejections: reg.counter("consensus.invariant_rejections"),
             snapshots_sent: reg.counter("consensus.snapshots_sent"),
             snapshots_installed: reg.counter("consensus.snapshots_installed"),
+            sign_latency: reg.histogram("consensus.sign_latency_ms", LATENCY_BUCKETS),
+            replication_latency: reg.histogram("consensus.replication_latency_ms", LATENCY_BUCKETS),
+            commit_latency: reg.histogram("consensus.commit_latency_ms", LATENCY_BUCKETS),
+            traces_dropped: reg.counter("consensus.traces_dropped"),
         }
     }
+}
+
+/// Per-replica bookkeeping for one traced entry between append and
+/// commit (DESIGN.md §12). Tokens are `Copy` and record nothing until
+/// exited, so dropping the whole struct on rollback erases the stages
+/// as if they never happened.
+struct InflightTrace {
+    trace: ccf_obs::TraceId,
+    appended_at: Time,
+    signed_at: Option<Time>,
+    /// `sign` stage: local append → covering signature tx appended.
+    sign_token: Option<ccf_obs::TraceSpanToken>,
+    /// `replicate` stage: signature appended → commit point covers it.
+    replicate_token: Option<ccf_obs::TraceSpanToken>,
+    /// `commit` stage: local append → commit point covers it.
+    commit_token: Option<ccf_obs::TraceSpanToken>,
 }
 
 /// The consensus replica.
@@ -246,6 +278,10 @@ pub struct Replica<F: SignatureFactory> {
     /// `become_primary` (so the duration covers winning elections only;
     /// lost candidacies just drop the token).
     election_span: Option<ccf_obs::SpanToken>,
+    /// Traced entries appended but not yet committed, by seqno. Pruned
+    /// on commit (closing their stage spans) and on rollback (dropping
+    /// them silently).
+    inflight_traces: std::collections::BTreeMap<Seqno, InflightTrace>,
 }
 
 impl<F: SignatureFactory> Replica<F> {
@@ -292,6 +328,7 @@ impl<F: SignatureFactory> Replica<F> {
             events: Vec::new(),
             metrics: None,
             election_span: None,
+            inflight_traces: std::collections::BTreeMap::new(),
         };
         r.reset_election_timer();
         r
@@ -302,7 +339,7 @@ impl<F: SignatureFactory> Replica<F> {
     /// records nothing.
     pub fn set_registry(&mut self, reg: &ccf_obs::Registry) {
         self.merkle.set_registry(reg);
-        self.metrics = Some(ReplicaMetrics::new(reg));
+        self.metrics = Some(ReplicaMetrics::new(reg, &self.id));
     }
 
     /// Creates a joining replica (status PENDING until a reconfiguration
@@ -636,7 +673,16 @@ impl<F: SignatureFactory> Replica<F> {
         let entry = self.sig_factory.make_signature(txid, root);
         assert_eq!(entry.kind, EntryKind::Signature, "factory must build a signature entry");
         assert_eq!(entry.txid, txid);
-        self.append_local(ReplicatedEntry { entry, config: None });
+        // Piggyback the trace ids this signature covers (every traced
+        // entry since the previous signature), so backups can close
+        // their `sign` stages without an extra protocol round.
+        let covered: Vec<ccf_obs::TraceId> = self
+            .inflight_traces
+            .values()
+            .filter(|t| t.signed_at.is_none())
+            .map(|t| t.trace)
+            .collect();
+        self.append_local(ReplicatedEntry { entry, config: None, traces: covered });
         // Replicate eagerly: commit latency is dominated by signature
         // round-trips (Figure 8).
         self.broadcast_entries();
@@ -683,11 +729,98 @@ impl<F: SignatureFactory> Replica<F> {
         if self.view_history.last().is_none_or(|&(v, _)| v < view) {
             self.view_history.push((view, entry.entry.txid.seqno));
         }
+        self.note_append_traces(&entry);
         self.ledger.push(entry.clone());
         self.events.push(Event::Appended { entry });
         // A single-node configuration commits its own signatures instantly.
         if self.is_primary() {
             self.try_advance_commit();
+        }
+    }
+
+    /// Trace bookkeeping at append time (DESIGN.md §12). A traced user
+    /// entry opens this node's `append` marker plus in-flight `sign` and
+    /// `commit` stages; a signature entry closes the `sign` stage of
+    /// every trace it covers and opens their `replicate` stages. Runs
+    /// identically on the primary (its own appends) and on backups
+    /// (piggybacked ids), so traces survive leader changes.
+    fn note_append_traces(&mut self, entry: &ReplicatedEntry) {
+        let Some(m) = &self.metrics else { return };
+        let seqno = entry.entry.txid.seqno;
+        if entry.entry.kind == EntryKind::Signature {
+            if entry.traces.is_empty() {
+                return;
+            }
+            let covered: std::collections::BTreeSet<u64> =
+                entry.traces.iter().map(|t| t.0).collect();
+            for t in self.inflight_traces.values_mut() {
+                if t.signed_at.is_none() && covered.contains(&t.trace.0) {
+                    t.signed_at = Some(self.now);
+                    if let Some(tok) = t.sign_token.take() {
+                        let sign_id = m.reg.trace_exit(tok);
+                        t.replicate_token =
+                            Some(m.reg.trace_enter(t.trace, sign_id, "replicate", m.node));
+                    }
+                }
+            }
+        } else {
+            for &trace in &entry.traces {
+                let append_id =
+                    m.reg.trace_mark(trace, ccf_obs::SpanId::NONE, "append", m.node);
+                self.inflight_traces.insert(
+                    seqno,
+                    InflightTrace {
+                        trace,
+                        appended_at: self.now,
+                        signed_at: None,
+                        sign_token: Some(m.reg.trace_enter(trace, append_id, "sign", m.node)),
+                        replicate_token: None,
+                        commit_token: Some(m.reg.trace_enter(
+                            trace,
+                            append_id,
+                            "commit",
+                            m.node,
+                        )),
+                    },
+                );
+            }
+        }
+    }
+
+    /// Closes the stage spans of every traced entry the new commit point
+    /// covers, and feeds the per-stage virtual-time histograms.
+    fn close_committed_traces(&mut self, seqno: Seqno) {
+        if self.inflight_traces.is_empty() {
+            return;
+        }
+        let rest = self.inflight_traces.split_off(&(seqno + 1));
+        let done = std::mem::replace(&mut self.inflight_traces, rest);
+        let Some(m) = &self.metrics else { return };
+        for t in done.into_values() {
+            m.commit_latency.observe(self.now - t.appended_at);
+            if let Some(signed) = t.signed_at {
+                m.sign_latency.observe(signed - t.appended_at);
+                m.replication_latency.observe(self.now - signed);
+            }
+            if let Some(tok) = t.replicate_token {
+                m.reg.trace_exit(tok);
+            }
+            if let Some(tok) = t.commit_token {
+                m.reg.trace_exit(tok);
+            }
+        }
+    }
+
+    /// Drops traces above the rollback point: their tokens die unexited,
+    /// so a rolled-back stage leaves no span — the trace simply resumes
+    /// when the entry is re-proposed or survives on another node.
+    fn drop_rolled_back_traces(&mut self, seqno: Seqno) {
+        let dropped = self.inflight_traces.split_off(&(seqno + 1));
+        if dropped.is_empty() {
+            return;
+        }
+        if let Some(m) = &self.metrics {
+            m.traces_dropped.add(dropped.len() as u64);
         }
     }
 
@@ -723,6 +856,15 @@ impl<F: SignatureFactory> Replica<F> {
             if let Some(snapshot) = &self.latest_snapshot {
                 if let Some(m) = &self.metrics {
                     m.snapshots_sent.inc();
+                    let peer = m.reg.node_ref(peer);
+                    m.reg.flight(
+                        m.node,
+                        "snapshot",
+                        "sent",
+                        Some(peer),
+                        self.view,
+                        snapshot.last_txid.seqno,
+                    );
                 }
                 self.outbox.push((
                     peer.clone(),
@@ -826,6 +968,7 @@ impl<F: SignatureFactory> Replica<F> {
         debug_assert!(seqno <= self.last_seqno());
         self.commit_seqno = seqno;
         self.note_commit(seqno);
+        self.close_committed_traces(seqno);
         self.events.push(Event::Committed { seqno });
         // §4.5: retirement commits when the node was in the current
         // configuration and a newly committed reconfiguration excludes it.
@@ -866,6 +1009,7 @@ impl<F: SignatureFactory> Replica<F> {
     fn start_election(&mut self) {
         if let Some(m) = &self.metrics {
             m.elections_started.inc();
+            m.reg.flight(m.node, "election", "start", None, self.view + 1, self.last_sig.seqno);
             self.election_span = Some(m.reg.span_enter("consensus.election"));
         }
         self.role = Role::Candidate;
@@ -904,6 +1048,7 @@ impl<F: SignatureFactory> Replica<F> {
     fn become_primary(&mut self) {
         if let Some(m) = &self.metrics {
             m.elections_won.inc();
+            m.reg.flight(m.node, "election", "won", None, self.view, self.last_seqno());
             if let Some(span) = self.election_span.take() {
                 m.reg.span_exit(span);
             }
@@ -955,6 +1100,7 @@ impl<F: SignatureFactory> Replica<F> {
         if seqno < self.commit_seqno {
             if let Some(m) = &self.metrics {
                 m.invariant_rejections.inc();
+                m.reg.flight(m.node, "invariant", "rejected", None, seqno, self.commit_seqno);
             }
             self.events.push(Event::InvariantRejected {
                 reason: format!(
@@ -970,7 +1116,9 @@ impl<F: SignatureFactory> Replica<F> {
         if let Some(m) = &self.metrics {
             m.rollbacks.inc();
             m.rollback_entries.observe(self.last_seqno() - seqno);
+            m.reg.flight(m.node, "rollback", "truncate", None, seqno, self.last_seqno() - seqno);
         }
+        self.drop_rolled_back_traces(seqno);
         self.ledger.truncate((seqno - self.base_seqno) as usize);
         self.merkle.truncate(seqno);
         // Roll back active configurations introduced after the cut (§4.4);
@@ -1025,6 +1173,7 @@ impl<F: SignatureFactory> Replica<F> {
                     from: self.id.clone(),
                     success: false,
                     last_seqno: self.last_seqno(),
+                    traces: Vec::new(),
                 }),
             ));
             return;
@@ -1051,6 +1200,7 @@ impl<F: SignatureFactory> Replica<F> {
                     from: self.id.clone(),
                     success: false,
                     last_seqno: self.base_seqno,
+                    traces: Vec::new(),
                 }),
             ));
             return;
@@ -1067,12 +1217,14 @@ impl<F: SignatureFactory> Replica<F> {
                     from: self.id.clone(),
                     success: false,
                     last_seqno: hint,
+                    traces: Vec::new(),
                 }),
             ));
             return;
         }
 
         // Append, resolving conflicts in the primary's favour (§4.2).
+        let mut appended_traces: Vec<TraceId> = Vec::new();
         for re in m.entries {
             let s = re.entry.txid.seqno;
             if s <= self.base_seqno {
@@ -1091,6 +1243,8 @@ impl<F: SignatureFactory> Replica<F> {
                     // records the violation before touching any state.
                     if let Some(m) = &self.metrics {
                         m.invariant_rejections.inc();
+                        let peer = m.reg.node_ref(from);
+                        m.reg.flight(m.node, "invariant", "rejected", Some(peer), s, self.commit_seqno);
                     }
                     self.events.push(Event::InvariantRejected {
                         reason: format!(
@@ -1105,6 +1259,7 @@ impl<F: SignatureFactory> Replica<F> {
                             from: self.id.clone(),
                             success: false,
                             last_seqno: self.commit_seqno,
+                            traces: Vec::new(),
                         }),
                     ));
                     return;
@@ -1121,10 +1276,12 @@ impl<F: SignatureFactory> Replica<F> {
                                 from: self.id.clone(),
                                 success: false,
                                 last_seqno: self.commit_seqno,
+                                traces: Vec::new(),
                             }),
                         ));
                         return;
                     }
+                    appended_traces.extend_from_slice(&re.traces);
                     self.append_local(re);
                 }
                 None => {
@@ -1142,10 +1299,12 @@ impl<F: SignatureFactory> Replica<F> {
                                 from: self.id.clone(),
                                 success: false,
                                 last_seqno: self.last_seqno(),
+                                traces: Vec::new(),
                             }),
                         ));
                         return;
                     }
+                    appended_traces.extend_from_slice(&re.traces);
                     self.append_local(re);
                 }
             }
@@ -1168,6 +1327,7 @@ impl<F: SignatureFactory> Replica<F> {
                 from: self.id.clone(),
                 success: true,
                 last_seqno: self.last_seqno(),
+                traces: appended_traces,
             }),
         ));
     }
@@ -1177,6 +1337,7 @@ impl<F: SignatureFactory> Replica<F> {
     fn advance_commit_backup(&mut self, seqno: Seqno) {
         self.commit_seqno = seqno;
         self.note_commit(seqno);
+        self.close_committed_traces(seqno);
         self.events.push(Event::Committed { seqno });
         let was_in_current = self
             .active_configs
@@ -1297,6 +1458,7 @@ impl<F: SignatureFactory> Replica<F> {
                     from: self.id.clone(),
                     success: true,
                     last_seqno: self.last_seqno(),
+                    traces: Vec::new(),
                 }),
             ));
             return;
@@ -1315,17 +1477,22 @@ impl<F: SignatureFactory> Replica<F> {
                 from: self.id.clone(),
                 success: true,
                 last_seqno: self.last_seqno(),
+                traces: Vec::new(),
             }),
         ));
     }
 
     fn install_snapshot_internal(&mut self, snapshot: Snapshot, at_boot: bool) {
         self.ledger.clear();
+        // Traced entries the snapshot replaces were committed elsewhere;
+        // this node's view of them ends here (tokens die unexited).
+        self.inflight_traces.clear();
         self.base_seqno = snapshot.last_txid.seqno;
         self.base_txid = snapshot.last_txid;
         self.merkle = MerkleTree::new();
         if let Some(m) = &self.metrics {
             m.snapshots_installed.inc();
+            m.reg.flight(m.node, "snapshot", "installed", None, self.view, self.base_seqno);
             // The fresh tree must keep reporting into the same registry.
             self.merkle.set_registry(&m.reg);
         }

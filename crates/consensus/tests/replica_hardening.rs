@@ -26,7 +26,11 @@ fn replica(id: &str, config: &[&str]) -> Replica<KeyedSignatureFactory> {
 }
 
 fn sig_entry(author: &str, txid: TxId) -> ReplicatedEntry {
-    ReplicatedEntry { entry: factory(author).make_signature(txid, [0u8; 32]), config: None }
+    ReplicatedEntry {
+        entry: factory(author).make_signature(txid, [0u8; 32]),
+        config: None,
+        traces: Vec::new(),
+    }
 }
 
 /// Sends `m` as an AppendEntries from `from` and returns the responses
@@ -220,6 +224,7 @@ fn probe_seqnos(p: &mut Replica<KeyedSignatureFactory>, hint: u64, cap: usize) -
                 from: "b".to_string(),
                 success: false,
                 last_seqno: hint,
+                traces: Vec::new(),
             }),
         );
         let probe = p
@@ -268,6 +273,7 @@ fn negative_ack_backoff_reaches_hint_in_one_round_trip() {
             from: "b".to_string(),
             success: true,
             last_seqno: last,
+            traces: Vec::new(),
         }),
     );
     p.drain_outbox();

@@ -299,6 +299,7 @@ pub fn run_service_chaos(seed: u64, schedule: &FaultSchedule, horizon: Time) -> 
         faults_applied: 0,
         violations: Vec::new(),
         metrics: ccf_obs::Snapshot::default(),
+        forensics: None,
     };
     let mut next_event = 0;
 
@@ -313,6 +314,8 @@ pub fn run_service_chaos(seed: u64, schedule: &FaultSchedule, horizon: Time) -> 
         report.steps += 1;
         chaos.check_invariants();
         if !chaos.checker.ok() {
+            report.forensics =
+                Some(ccf_consensus::invariants::forensics(chaos.service.obs(), 64, 4));
             break;
         }
     }
@@ -327,6 +330,35 @@ pub fn run_service_chaos(seed: u64, schedule: &FaultSchedule, horizon: Time) -> 
     report
         .violations
         .extend(chaos.checker.violations().iter().cloned());
+    if !report.violations.is_empty() && report.forensics.is_none() {
+        // Receipt-check violations surface outside the step loop.
+        report.forensics =
+            Some(ccf_consensus::invariants::forensics(chaos.service.obs(), 64, 4));
+    }
     report.metrics = chaos.service.obs().snapshot();
     report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The full service stack — traces, flight recorder, histograms —
+    /// is deterministic in the seed: same-seed chaos runs serialize to
+    /// byte-identical observability JSON.
+    #[test]
+    fn same_seed_service_runs_emit_byte_identical_trace_json() {
+        let schedule = FaultSchedule::generate(7, 2_500, 6);
+        let a = run_service_chaos(7, &schedule, 2_500);
+        let b = run_service_chaos(7, &schedule, 2_500);
+        assert!(
+            !a.metrics.trace_spans.is_empty(),
+            "service chaos recorded no trace spans"
+        );
+        assert!(!a.metrics.flight.is_empty(), "service chaos recorded no flight events");
+        assert_eq!(a.metrics.trace_spans, b.metrics.trace_spans);
+        assert_eq!(a.metrics.flight, b.metrics.flight);
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.metrics.to_json(), b.metrics.to_json());
+    }
 }

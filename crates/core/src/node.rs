@@ -91,6 +91,7 @@ const TICK_GAP_BUCKETS: &[u64] = &[1, 2, 5, 10, 20, 50, 100];
 /// `crypto.*` and `ledger.encrypted_bytes` series; DESIGN.md §10).
 struct NodeMetrics {
     reg: ccf_obs::Registry,
+    node: ccf_obs::NodeRef,
     ticks: ccf_obs::Counter,
     tick_gap_ms: ccf_obs::Histogram,
     last_tick_ms: std::sync::atomic::AtomicU64,
@@ -106,12 +107,20 @@ struct NodeMetrics {
     batch_verifies: ccf_obs::Counter,
     batch_verify_sigs: ccf_obs::Counter,
     single_verifies: ccf_obs::Counter,
+    /// Request entry → global commit, per traced user request
+    /// (DESIGN.md §12; the node-level counterpart of
+    /// `consensus.commit_latency_ms`).
+    commit_latency: ccf_obs::Histogram,
+    /// Signed-request enqueue → batch drain.
+    queue_latency: ccf_obs::Histogram,
 }
 
 impl NodeMetrics {
-    fn new(reg: &ccf_obs::Registry) -> NodeMetrics {
+    fn new(reg: &ccf_obs::Registry, id: &NodeId) -> NodeMetrics {
+        use ccf_consensus::replica::LATENCY_BUCKETS;
         NodeMetrics {
             reg: reg.clone(),
+            node: reg.node_ref(id),
             ticks: reg.counter("node.ticks"),
             tick_gap_ms: reg.histogram("node.tick_gap_ms", TICK_GAP_BUCKETS),
             last_tick_ms: std::sync::atomic::AtomicU64::new(0),
@@ -127,6 +136,8 @@ impl NodeMetrics {
             batch_verifies: reg.counter("crypto.ed25519_batch_verifies"),
             batch_verify_sigs: reg.counter("crypto.ed25519_batch_sigs"),
             single_verifies: reg.counter("crypto.ed25519_single_verifies"),
+            commit_latency: reg.histogram("node.commit_latency_ms", LATENCY_BUCKETS),
+            queue_latency: reg.histogram("node.queue_latency_ms", LATENCY_BUCKETS),
         }
     }
 }
@@ -197,7 +208,21 @@ struct NodeInner {
     /// Consensus events retained for the chaos checker (drained by
     /// [`CcfNode::take_recorded_events`]).
     recorded_events: Vec<Event>,
+    /// Causal-trace id per proposed seqno (DESIGN.md §12). Bounded:
+    /// pruned from the front past `TRACE_MAP_CAPACITY`; survives commit
+    /// so receipts and forwarders can look traces up after the fact.
+    trace_by_seqno: BTreeMap<Seqno, ccf_obs::TraceId>,
+    /// Traced user requests proposed here and not yet globally
+    /// committed: seqno → (trace, request entry time).
+    inflight_traces: BTreeMap<Seqno, (ccf_obs::TraceId, u64)>,
+    /// Virtual enqueue time per signed-request ticket (queue-stage
+    /// accounting).
+    signed_enqueue_times: BTreeMap<u64, u64>,
 }
+
+/// How many seqno → trace-id mappings a node retains (receipt markers
+/// and forward lookups only need recent history).
+const TRACE_MAP_CAPACITY: usize = 1024;
 
 /// A CCF node.
 pub struct CcfNode {
@@ -234,7 +259,7 @@ impl CcfNode {
             factory,
         );
         replica.set_registry(&opts.obs);
-        let metrics = NodeMetrics::new(&opts.obs);
+        let metrics = NodeMetrics::new(&opts.obs, &opts.id);
         Arc::new(CcfNode {
             id: opts.id.clone(),
             app,
@@ -261,6 +286,9 @@ impl CcfNode {
                 next_signed_ticket: 0,
                 record_events: false,
                 recorded_events: Vec::new(),
+                trace_by_seqno: BTreeMap::new(),
+                inflight_traces: BTreeMap::new(),
+                signed_enqueue_times: BTreeMap::new(),
             }),
             last_applied_view: std::sync::atomic::AtomicU64::new(0),
             last_applied_seqno: std::sync::atomic::AtomicU64::new(0),
@@ -293,7 +321,7 @@ impl CcfNode {
             snapshot,
         );
         replica.set_registry(&opts.obs);
-        let metrics = NodeMetrics::new(&opts.obs);
+        let metrics = NodeMetrics::new(&opts.obs, &opts.id);
         let node = Arc::new(CcfNode {
             id: opts.id.clone(),
             app,
@@ -320,6 +348,9 @@ impl CcfNode {
                 next_signed_ticket: 0,
                 record_events: false,
                 recorded_events: Vec::new(),
+                trace_by_seqno: BTreeMap::new(),
+                inflight_traces: BTreeMap::new(),
+                signed_enqueue_times: BTreeMap::new(),
             }),
             last_applied_view: std::sync::atomic::AtomicU64::new(0),
             last_applied_seqno: std::sync::atomic::AtomicU64::new(0),
@@ -497,15 +528,19 @@ impl CcfNode {
             let ws = tx.write_set().clone();
             (tx, ws)
         };
-        self.propose_write_set(inner, ws, None)
+        self.propose_write_set(inner, ws, None, ccf_obs::TraceId::NONE)
     }
 
-    /// Proposes a prepared write set with optional claims.
+    /// Proposes a prepared write set with optional claims. A non-NONE
+    /// `trace` rides the replicated entry so every replica records
+    /// per-stage spans for it (DESIGN.md §12); internal writes pass
+    /// [`ccf_obs::TraceId::NONE`].
     fn propose_write_set(
         &self,
         inner: &mut NodeInner,
         ws: WriteSet,
         claims: Option<Vec<u8>>,
+        trace: ccf_obs::TraceId,
     ) -> Result<TxId, ProposeError> {
         let (public_ws, private_ws) = ws.split_visibility();
         // Reconfiguration detection: a transaction that changes the set of
@@ -541,8 +576,15 @@ impl CcfNode {
                     claims_digest,
                 },
                 config: new_config.clone(),
+                traces: if trace.is_none() { Vec::new() } else { vec![trace] },
             }
         })?;
+        if trace.is_some() {
+            inner.trace_by_seqno.insert(txid.seqno, trace);
+            while inner.trace_by_seqno.len() > TRACE_MAP_CAPACITY {
+                inner.trace_by_seqno.pop_first();
+            }
+        }
         self.handle_events(inner);
         Ok(txid)
     }
@@ -584,7 +626,7 @@ impl CcfNode {
         let mut inner = self.inner.lock();
         self.store.validate(&tx).map_err(|e| e.to_string())?;
         let ws = tx.write_set().clone();
-        self.propose_write_set(&mut inner, ws, None).map_err(|e| e.to_string())
+        self.propose_write_set(&mut inner, ws, None, ccf_obs::TraceId::NONE).map_err(|e| e.to_string())
     }
 
     fn publish_last_applied(&self, txid: TxId) {
@@ -694,6 +736,20 @@ impl CcfNode {
     }
 
     fn on_committed(&self, inner: &mut NodeInner, seqno: Seqno) {
+        // Close traced user requests covered by this commit: observe the
+        // node-level end-to-end latency (request entry → global commit).
+        if inner
+            .inflight_traces
+            .first_key_value()
+            .is_some_and(|(s, _)| *s <= seqno)
+        {
+            let rest = inner.inflight_traces.split_off(&(seqno + 1));
+            let done = std::mem::replace(&mut inner.inflight_traces, rest);
+            let now = self.metrics.reg.now();
+            for (_, (_, entered_at)) in done {
+                self.metrics.commit_latency.observe(now.saturating_sub(entered_at));
+            }
+        }
         // Feed the indexer, in order, with decrypted committed writes.
         while inner.indexer.processed_upto() < seqno {
             let next = inner.indexer.processed_upto() + 1;
@@ -759,7 +815,7 @@ impl CcfNode {
             put_node_info(&mut tx, &id, &info);
         }
         let ws = tx.write_set().clone();
-        let _ = self.propose_write_set(inner, ws, None);
+        let _ = self.propose_write_set(inner, ws, None, ccf_obs::TraceId::NONE);
     }
 
     /// Ledger rekey (§5.2 note on rekeying): generates a fresh secret,
@@ -829,7 +885,7 @@ impl CcfNode {
             &mut inner.rng,
         );
         let ws = tx.write_set().clone();
-        let _ = self.propose_write_set(inner, ws, None);
+        let _ = self.propose_write_set(inner, ws, None, ccf_obs::TraceId::NONE);
     }
 
     /// Applies a sealed rekey distribution addressed to this node.
@@ -851,6 +907,10 @@ impl CcfNode {
     }
 
     fn on_rolled_back(&self, inner: &mut NodeInner, seqno: Seqno) {
+        // Rolled-back proposals never commit here; their traces close on
+        // whichever primary re-proposes them (or never).
+        inner.inflight_traces.split_off(&(seqno + 1));
+        inner.trace_by_seqno.split_off(&(seqno + 1));
         let state = inner
             .recent_states
             .get(&seqno)
@@ -1063,7 +1123,7 @@ impl CcfNode {
             },
         );
         let ws = tx.write_set().clone();
-        self.propose_write_set(&mut inner, ws, None)
+        self.propose_write_set(&mut inner, ws, None, ccf_obs::TraceId::NONE)
             .map_err(|e| format!("join propose: {e}"))?;
         // 5. Share the service secrets with the verified enclave.
         drop(inner);
@@ -1119,6 +1179,9 @@ impl CcfNode {
     }
 
     fn handle_request_inner(&self, req: &Request) -> Response {
+        // Captured up front so the eventual root "request" span covers
+        // routing, auth, and endpoint execution (DESIGN.md §12).
+        let entered_at = self.metrics.reg.now();
         let (path, params) = split_query(&req.path);
         // Built-in endpoints (§3.2's tx, §3.5's receipt, governance).
         if path.starts_with("/node/") || path.starts_with("/gov/") {
@@ -1207,8 +1270,25 @@ impl CcfNode {
                         return Response::error(409, "transaction conflict");
                     }
                     let ws = tx.write_set().clone();
-                    match self.propose_write_set(&mut inner, ws, claims) {
+                    // Trace ids are minted only once the request reaches
+                    // its primary with a validated write set, so ids stay
+                    // dense and deterministic across forwarding. The root
+                    // "request" span is opened (seq assigned) before the
+                    // proposal so the stages it causes sort under it; on
+                    // propose failure the token is dropped unexited and
+                    // nothing is recorded.
+                    let trace = self.metrics.reg.mint_trace();
+                    let tok = self.metrics.reg.trace_enter_at(
+                        trace,
+                        ccf_obs::SpanId::NONE,
+                        "request",
+                        self.metrics.node,
+                        entered_at,
+                    );
+                    match self.propose_write_set(&mut inner, ws, claims, trace) {
                         Ok(txid) => {
+                            self.metrics.reg.trace_exit(tok);
+                            inner.inflight_traces.insert(txid.seqno, (trace, entered_at));
                             return Response { status: 200, body, txid: Some(txid) };
                         }
                         Err(ProposeError::NotPrimary(hint)) => {
@@ -1347,7 +1427,7 @@ impl CcfNode {
                     return Response::error(409, "governance transaction conflict");
                 }
                 let ws = tx.write_set().clone();
-                match self.propose_write_set(&mut inner, ws, None) {
+                match self.propose_write_set(&mut inner, ws, None, ccf_obs::TraceId::NONE) {
                     Ok(txid) => Response { status: 200, body: body.into_bytes(), txid: Some(txid) },
                     Err(e) => Response::error(503, &format!("propose failed: {e}")),
                 }
@@ -1391,6 +1471,15 @@ impl CcfNode {
         let service_key = inner.service_key.as_ref()?;
         let endorsement =
             service_key.sign(&endorsement_bytes(&payload.node_id, &payload.node_public));
+        // Receipt issuance is the last stage of a traced request's life.
+        if let Some(trace) = inner.trace_by_seqno.get(&txid.seqno).copied() {
+            self.metrics.reg.trace_mark(
+                trace,
+                ccf_obs::SpanId::NONE,
+                "receipt",
+                self.metrics.node,
+            );
+        }
         Some(Receipt {
             txid,
             kind: entry.kind,
@@ -1485,6 +1574,19 @@ impl CcfNode {
         &self.metrics.reg
     }
 
+    /// The causal-trace id minted for `txid` on this node, if this node
+    /// proposed it recently ([`ccf_obs::TraceId::NONE`] otherwise).
+    /// Forwarding layers use this to attach their own stages (e.g. the
+    /// service harness's "forward" marker) to the request's trace.
+    pub fn trace_of(&self, txid: TxId) -> ccf_obs::TraceId {
+        self.inner
+            .lock()
+            .trace_by_seqno
+            .get(&txid.seqno)
+            .copied()
+            .unwrap_or(ccf_obs::TraceId::NONE)
+    }
+
     /// Handles a *signed* user request (§6.4: "optional support for user
     /// request signing, via the same mechanism that consortium members
     /// sign governance operations"). The envelope's purpose must be
@@ -1542,6 +1644,7 @@ impl CcfNode {
         let ticket = inner.next_signed_ticket;
         inner.next_signed_ticket += 1;
         inner.signed_request_queue.push((ticket, envelope));
+        inner.signed_enqueue_times.insert(ticket, self.metrics.reg.now());
         ticket
     }
 
@@ -1570,7 +1673,25 @@ impl CcfNode {
         let responses = self.handle_signed_user_requests(&envelopes);
         self.metrics.reg.span_exit(span);
         let mut inner = self.inner.lock();
+        let now = self.metrics.reg.now();
         for (ticket, resp) in tickets.into_iter().zip(responses) {
+            // Queue-stage accounting: enqueue → this drain, attributed to
+            // the request's trace (backdated span; DESIGN.md §12).
+            if let Some(at) = inner.signed_enqueue_times.remove(&ticket) {
+                self.metrics.queue_latency.observe(now.saturating_sub(at));
+                let trace = resp
+                    .txid
+                    .and_then(|txid| inner.trace_by_seqno.get(&txid.seqno).copied())
+                    .unwrap_or(ccf_obs::TraceId::NONE);
+                let tok = self.metrics.reg.trace_enter_at(
+                    trace,
+                    ccf_obs::SpanId::NONE,
+                    "queue",
+                    self.metrics.node,
+                    at,
+                );
+                self.metrics.reg.trace_exit(tok);
+            }
             inner.signed_request_responses.insert(ticket, resp);
         }
     }

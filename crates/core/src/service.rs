@@ -150,6 +150,7 @@ impl ServiceCluster {
         );
         let mut net = SimNet::new(opts.net.clone(), opts.seed);
         net.set_registry(&obs);
+        net.set_flight_tagger(Message::kind);
         let mut cluster = ServiceCluster {
             nodes: BTreeMap::from([(start_node.id.clone(), start_node.clone())]),
             net,
@@ -219,6 +220,7 @@ impl ServiceCluster {
         let obs = node.obs().clone();
         let mut net = SimNet::new(NetConfig::default(), seed);
         net.set_registry(&obs);
+        net.set_flight_tagger(Message::kind);
         ServiceCluster {
             nodes: BTreeMap::from([(node.id.clone(), node)]),
             net,
@@ -484,7 +486,19 @@ impl ServiceCluster {
             }
             let epoch = self.nodes[&hint].view_epoch();
             self.sessions.get_mut(&session_id).unwrap().forwarded_to = Some((hint.clone(), epoch));
-            return self.nodes[&hint].handle_request(&req);
+            let forwarded = self.nodes[&hint].handle_request(&req);
+            // The forwarding hop is a zero-duration stage on the request's
+            // trace, attributed to the backup that issued the 307.
+            if let Some(txid) = forwarded.txid {
+                let trace = self.nodes[&hint].trace_of(txid);
+                self.obs.trace_mark(
+                    trace,
+                    ccf_obs::SpanId::NONE,
+                    "forward",
+                    self.obs.node_ref(&target),
+                );
+            }
+            return forwarded;
         }
         resp
     }
@@ -637,7 +651,17 @@ impl ServiceCluster {
         if resp.status == 307 {
             let hint = String::from_utf8_lossy(&resp.body).to_string();
             if let Some(primary) = self.nodes.get(&hint) {
-                return primary.handle_request(&req);
+                let forwarded = primary.handle_request(&req);
+                if let Some(txid) = forwarded.txid {
+                    let trace = primary.trace_of(txid);
+                    self.obs.trace_mark(
+                        trace,
+                        ccf_obs::SpanId::NONE,
+                        "forward",
+                        self.obs.node_ref(&node),
+                    );
+                }
+                return forwarded;
             }
         }
         resp

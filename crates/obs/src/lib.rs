@@ -1,5 +1,6 @@
 //! Deterministic observability for the CCF reproduction: RED-style
-//! metrics and Dapper-style span tracing, with no dependencies.
+//! metrics, Dapper-style span tracing, causal request traces, and a
+//! crash-forensics flight recorder — with no dependencies.
 //!
 //! The paper evaluates CCF with per-subsystem breakdowns (§7, Figs.
 //! 7–9); this crate provides the plumbing to see where *virtual* time
@@ -31,6 +32,18 @@
 //!   Off-simulation — when nothing calls [`Registry::set_now`] — the
 //!   virtual clock stays at zero and the sequence number alone provides
 //!   a monotonic ordering stub.
+//! * Traces — [`Registry::mint_trace`] issues a [`TraceId`] when a user
+//!   request enters the node; components along the write path record
+//!   stage spans against it with [`Registry::trace_enter`] /
+//!   [`Registry::trace_exit`] (stages: `queue`, `forward`, `request`,
+//!   `append`, `sign`, `replicate`, `commit`, `receipt`). The id — a
+//!   plain `u64` — piggybacks on consensus messages, so a trace spans
+//!   nodes. [`trace::assemble`] rebuilds trace trees from a snapshot
+//!   and computes per-stage critical paths.
+//! * Flight recorder — [`Registry::flight`] records bounded structured
+//!   protocol events (message send/recv/drop, elections, rollbacks,
+//!   snapshots). When an invariant trips, the last N events — already
+//!   in causal order — are the crash forensics.
 //! * [`Snapshot`] / JSON — [`Registry::snapshot`] captures everything
 //!   into plain sorted maps; [`Snapshot::to_json`] renders them with
 //!   deterministic key order and no floats.
@@ -40,10 +53,14 @@
 //! Metric names are `&'static str`, dot-separated, `subsystem.metric`:
 //! `consensus.*` (replica protocol), `node.*` (request path),
 //! `ledger.*` (Merkle/encryption), `net.*` (simulated network),
-//! `crypto.*` (signature verification). See `DESIGN.md` §10.
+//! `crypto.*` (signature verification). See `DESIGN.md` §10 and §12.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
+
+pub mod trace;
+
+pub use trace::{SpanId, TraceId};
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -52,6 +69,12 @@ use std::sync::{Arc, Mutex};
 
 /// Default capacity of the span ring buffer (completed spans retained).
 pub const DEFAULT_SPAN_CAPACITY: usize = 1024;
+
+/// Default capacity of the trace-span ring buffer.
+pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
+
+/// Default capacity of the flight-recorder ring buffer.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 512;
 
 /// A monotone counter. Cloning shares the underlying cell, so a handle
 /// can be cached once and incremented lock-free on the hot path.
@@ -182,18 +205,34 @@ pub struct SpanRecord {
     pub seq: u64,
 }
 
+/// Internal ring representation of a completed span. Names stay
+/// `&'static str` here — the owned [`SpanRecord`] string is built only
+/// at [`Registry::snapshot`] time, so span exit never allocates.
+#[derive(Clone, Copy, Debug)]
+struct SpanRec {
+    name: &'static str,
+    start: u64,
+    end: u64,
+    seq: u64,
+}
+
+/// A bounded ring: keeps the last `capacity` items, counts everything.
 #[derive(Debug)]
-struct SpanRing {
-    buf: Vec<SpanRecord>,
+struct Ring<T> {
+    buf: Vec<T>,
     /// Next slot to overwrite once the buffer is full.
     head: usize,
-    /// Total spans ever recorded (including overwritten ones).
+    /// Total items ever recorded (including overwritten ones).
     total: u64,
     capacity: usize,
 }
 
-impl SpanRing {
-    fn push(&mut self, rec: SpanRecord) {
+impl<T: Clone> Ring<T> {
+    fn new(capacity: usize) -> Self {
+        Ring { buf: Vec::new(), head: 0, total: 0, capacity }
+    }
+
+    fn push(&mut self, rec: T) {
         self.total += 1;
         if self.capacity == 0 {
             return;
@@ -207,11 +246,145 @@ impl SpanRing {
     }
 
     /// Contents in recording order (oldest retained first).
-    fn ordered(&self) -> Vec<SpanRecord> {
+    fn ordered(&self) -> Vec<T> {
         let mut out = Vec::with_capacity(self.buf.len());
         out.extend_from_slice(&self.buf[self.head..]);
         out.extend_from_slice(&self.buf[..self.head]);
         out
+    }
+}
+
+/// An interned node name: a cheap `Copy` id handed out by
+/// [`Registry::node_ref`]. Trace spans and flight events carry these
+/// instead of `String`s so recording never allocates; snapshots resolve
+/// them back to names.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct NodeRef(u32);
+
+impl NodeRef {
+    /// The anonymous node (renders as the empty string).
+    pub const ANON: NodeRef = NodeRef(u32::MAX);
+}
+
+/// An in-flight trace stage span: returned by
+/// [`Registry::trace_enter`], consumed by [`Registry::trace_exit`].
+/// `Copy`, so protocol state machines can park tokens in maps keyed by
+/// seqno and drop them wholesale on rollback (dropping records
+/// nothing — a rolled-back stage never happened).
+#[derive(Clone, Copy, Debug)]
+pub struct TraceSpanToken {
+    trace: TraceId,
+    parent: SpanId,
+    stage: &'static str,
+    node: NodeRef,
+    start: u64,
+    seq: u64,
+}
+
+impl TraceSpanToken {
+    /// The span id this token will record under — usable as the
+    /// `parent` of child stages before the token is exited.
+    pub fn id(&self) -> SpanId {
+        SpanId(self.seq)
+    }
+
+    /// The trace this token belongs to.
+    pub fn trace(&self) -> TraceId {
+        self.trace
+    }
+
+    /// The virtual-time start stamped at enter.
+    pub fn start(&self) -> u64 {
+        self.start
+    }
+}
+
+/// Internal ring representation of a completed trace stage span (no
+/// owned strings; see [`TraceSpan`] for the snapshot form).
+#[derive(Clone, Copy, Debug)]
+struct TraceRec {
+    trace: u64,
+    parent: u64,
+    stage: &'static str,
+    node: u32,
+    start: u64,
+    end: u64,
+    seq: u64,
+}
+
+/// One completed trace stage span as captured in a [`Snapshot`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceSpan {
+    /// The trace this stage belongs to (ids are minted from 1; 0 never
+    /// appears in a snapshot).
+    pub trace: u64,
+    /// Sequence number of the parent span, or 0 for a root / unknown
+    /// parent. A nonzero parent absent from the retained set means the
+    /// parent was evicted from the ring (an *orphan* — see
+    /// [`trace::assemble`]).
+    pub parent: u64,
+    /// Stage name: `queue`, `forward`, `request`, `append`, `sign`,
+    /// `replicate`, `commit`, `receipt`.
+    pub stage: String,
+    /// The node the stage ran on (interned at record time).
+    pub node: String,
+    /// Virtual-time start (ms).
+    pub start: u64,
+    /// Virtual-time end (ms).
+    pub end: u64,
+    /// Monotone sequence number — doubles as this span's [`SpanId`].
+    pub seq: u64,
+}
+
+/// Internal ring representation of a flight-recorder event.
+#[derive(Clone, Copy, Debug)]
+struct FlightRec {
+    at: u64,
+    seq: u64,
+    node: u32,
+    kind: &'static str,
+    tag: &'static str,
+    peer: u32,
+    a: u64,
+    b: u64,
+}
+
+/// One structured protocol event as captured in a [`Snapshot`] —
+/// the unit of crash forensics. Events are causally ordered by `seq`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlightRecord {
+    /// Virtual time of the event (ms).
+    pub at: u64,
+    /// Monotone sequence number (causal order across the whole run).
+    pub seq: u64,
+    /// The node the event happened on.
+    pub node: String,
+    /// Event kind: `send`, `recv`, `drop`, `election`, `rollback`,
+    /// `snapshot`, `invariant`.
+    pub kind: String,
+    /// Kind-specific tag (e.g. the message kind for net events).
+    pub tag: String,
+    /// The peer node, if the event involves one (empty otherwise).
+    pub peer: String,
+    /// First kind-specific payload value (e.g. a view).
+    pub a: u64,
+    /// Second kind-specific payload value (e.g. a seqno).
+    pub b: u64,
+}
+
+impl FlightRecord {
+    /// One-line human rendering, e.g.
+    /// `[t=120 #88] n0 -> n2 send append_entries a=2 b=17`.
+    pub fn render(&self) -> String {
+        let peer = if self.peer.is_empty() {
+            String::new()
+        } else {
+            format!(" -> {}", self.peer)
+        };
+        format!(
+            "[t={} #{}] {}{} {} {} a={} b={}",
+            self.at, self.seq, self.node, peer, self.kind, self.tag, self.a, self.b
+        )
     }
 }
 
@@ -220,11 +393,18 @@ struct Inner {
     counters: Mutex<BTreeMap<&'static str, Counter>>,
     gauges: Mutex<BTreeMap<&'static str, Gauge>>,
     histograms: Mutex<BTreeMap<&'static str, Histogram>>,
-    spans: Mutex<SpanRing>,
+    spans: Mutex<Ring<SpanRec>>,
+    traces: Mutex<Ring<TraceRec>>,
+    flight: Mutex<Ring<FlightRec>>,
+    /// Interned node names; a [`NodeRef`] indexes this vec.
+    nodes: Mutex<Vec<String>>,
     /// Virtual time, fed by the harness driving the run.
     now: AtomicU64,
     /// Monotone event sequence; the ordering stub off-simulation.
+    /// Starts at 1 so 0 can mean "no parent" in trace spans.
     seq: AtomicU64,
+    /// Trace ids minted so far; ids start at 1 (0 = `TraceId::NONE`).
+    trace_ids: AtomicU64,
 }
 
 /// A registry of metrics and spans for one run. Cloning yields another
@@ -239,26 +419,36 @@ impl Default for Registry {
 }
 
 impl Registry {
-    /// Creates an empty registry with the default span capacity.
+    /// Creates an empty registry with the default capacities.
     pub fn new() -> Self {
-        Registry::with_span_capacity(DEFAULT_SPAN_CAPACITY)
+        Registry::with_capacities(
+            DEFAULT_SPAN_CAPACITY,
+            DEFAULT_TRACE_CAPACITY,
+            DEFAULT_FLIGHT_CAPACITY,
+        )
     }
 
     /// Creates an empty registry retaining at most `capacity` completed
     /// spans (older spans are overwritten; the total is still counted).
+    /// Trace and flight rings keep their default capacities.
     pub fn with_span_capacity(capacity: usize) -> Self {
+        Registry::with_capacities(capacity, DEFAULT_TRACE_CAPACITY, DEFAULT_FLIGHT_CAPACITY)
+    }
+
+    /// Creates an empty registry with explicit ring capacities for
+    /// completed spans, trace stage spans, and flight-recorder events.
+    pub fn with_capacities(spans: usize, traces: usize, flight: usize) -> Self {
         Registry(Arc::new(Inner {
             counters: Mutex::new(BTreeMap::new()),
             gauges: Mutex::new(BTreeMap::new()),
             histograms: Mutex::new(BTreeMap::new()),
-            spans: Mutex::new(SpanRing {
-                buf: Vec::new(),
-                head: 0,
-                total: 0,
-                capacity,
-            }),
+            spans: Mutex::new(Ring::new(spans)),
+            traces: Mutex::new(Ring::new(traces)),
+            flight: Mutex::new(Ring::new(flight)),
+            nodes: Mutex::new(Vec::new()),
             now: AtomicU64::new(0),
             seq: AtomicU64::new(0),
+            trace_ids: AtomicU64::new(0),
         }))
     }
 
@@ -275,16 +465,21 @@ impl Registry {
     }
 
     /// Returns the histogram registered under `name`, creating it with
-    /// `bounds` on first use. Later calls for the same name return the
-    /// existing histogram (the original bounds win).
+    /// `bounds` on first use.
+    ///
+    /// **First registration wins**: later calls for the same name
+    /// return the existing histogram and their `bounds` argument is
+    /// ignored. Re-registering with *different* bounds is a bug in the
+    /// caller (the recorded buckets would not mean what the call site
+    /// thinks) and trips a `debug_assert!`.
     pub fn histogram(&self, name: &'static str, bounds: &'static [u64]) -> Histogram {
-        self.0
-            .histograms
-            .lock()
-            .unwrap()
-            .entry(name)
-            .or_insert_with(|| Histogram::new(bounds))
-            .clone()
+        let mut map = self.0.histograms.lock().unwrap();
+        let h = map.entry(name).or_insert_with(|| Histogram::new(bounds));
+        debug_assert_eq!(
+            h.0.bounds, bounds,
+            "histogram {name:?} re-registered with different bounds (first registration wins)"
+        );
+        h.clone()
     }
 
     /// Advances the virtual clock to `t` (monotone: earlier values are
@@ -300,7 +495,7 @@ impl Registry {
     }
 
     fn next_seq(&self) -> u64 {
-        self.0.seq.fetch_add(1, Ordering::Relaxed)
+        self.0.seq.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// Opens a span named `name`, stamping the current virtual time and
@@ -310,15 +505,147 @@ impl Registry {
     }
 
     /// Closes `token`, recording the completed span into the ring
-    /// buffer.
+    /// buffer. Allocation-free: the owned name string is only built at
+    /// [`Registry::snapshot`] time.
     pub fn span_exit(&self, token: SpanToken) {
-        let rec = SpanRecord {
-            name: token.name.to_string(),
+        let rec = SpanRec {
+            name: token.name,
             start: token.start,
             end: self.now(),
             seq: token.start_seq,
         };
         self.0.spans.lock().unwrap().push(rec);
+    }
+
+    /// Interns `name`, returning a cheap `Copy` reference for use in
+    /// trace spans and flight events. Call once per component, not on
+    /// a hot path.
+    pub fn node_ref(&self, name: &str) -> NodeRef {
+        let mut nodes = self.0.nodes.lock().unwrap();
+        if let Some(i) = nodes.iter().position(|n| n == name) {
+            return NodeRef(i as u32);
+        }
+        nodes.push(name.to_string());
+        NodeRef((nodes.len() - 1) as u32)
+    }
+
+    fn node_name(&self, r: u32) -> String {
+        if r == u32::MAX {
+            return String::new();
+        }
+        self.0.nodes.lock().unwrap().get(r as usize).cloned().unwrap_or_default()
+    }
+
+    /// Mints a fresh [`TraceId`] — called when a user request enters
+    /// the node. Ids are dense from 1, so same-seed runs mint identical
+    /// ids in identical order.
+    pub fn mint_trace(&self) -> TraceId {
+        TraceId(self.0.trace_ids.fetch_add(1, Ordering::Relaxed) + 1)
+    }
+
+    /// Opens a trace stage span for `trace`, starting now. `parent` is
+    /// the enclosing stage's [`SpanId`] ([`SpanId::NONE`] for a root).
+    /// With `trace == TraceId::NONE` the returned token is inert:
+    /// exiting it records nothing.
+    pub fn trace_enter(
+        &self,
+        trace: TraceId,
+        parent: SpanId,
+        stage: &'static str,
+        node: NodeRef,
+    ) -> TraceSpanToken {
+        self.trace_enter_at(trace, parent, stage, node, self.now())
+    }
+
+    /// Like [`Registry::trace_enter`] but backdated to `start` — for
+    /// stages whose beginning is only known in hindsight (e.g. a queue
+    /// wait recorded at dequeue time). The sequence number is still
+    /// assigned now, so causal order reflects the record time.
+    pub fn trace_enter_at(
+        &self,
+        trace: TraceId,
+        parent: SpanId,
+        stage: &'static str,
+        node: NodeRef,
+        start: u64,
+    ) -> TraceSpanToken {
+        let seq = if trace.is_none() { 0 } else { self.next_seq() };
+        TraceSpanToken { trace, parent, stage, node, start, seq }
+    }
+
+    /// Closes a trace stage span, recording it into the trace ring.
+    /// Returns the recorded [`SpanId`] (usable as a child's parent).
+    /// No-op for inert tokens (minted against [`TraceId::NONE`]).
+    pub fn trace_exit(&self, token: TraceSpanToken) -> SpanId {
+        if token.trace.is_none() {
+            return SpanId::NONE;
+        }
+        let rec = TraceRec {
+            trace: token.trace.0,
+            parent: token.parent.0,
+            stage: token.stage,
+            node: token.node.0,
+            start: token.start,
+            end: self.now(),
+            seq: token.seq,
+        };
+        self.0.traces.lock().unwrap().push(rec);
+        SpanId(token.seq)
+    }
+
+    /// Records a zero-duration trace stage marker (enter + exit now).
+    pub fn trace_mark(
+        &self,
+        trace: TraceId,
+        parent: SpanId,
+        stage: &'static str,
+        node: NodeRef,
+    ) -> SpanId {
+        self.trace_exit(self.trace_enter(trace, parent, stage, node))
+    }
+
+    /// Records a structured protocol event into the flight recorder.
+    /// `a` and `b` are kind-specific payloads (views, seqnos, counts).
+    pub fn flight(
+        &self,
+        node: NodeRef,
+        kind: &'static str,
+        tag: &'static str,
+        peer: Option<NodeRef>,
+        a: u64,
+        b: u64,
+    ) {
+        let rec = FlightRec {
+            at: self.now(),
+            seq: self.next_seq(),
+            node: node.0,
+            kind,
+            tag,
+            peer: peer.unwrap_or(NodeRef::ANON).0,
+            a,
+            b,
+        };
+        self.0.flight.lock().unwrap().push(rec);
+    }
+
+    /// The retained flight-recorder events, causally ordered (oldest
+    /// retained first). This is the "last N events" a violation dumps.
+    pub fn flight_records(&self) -> Vec<FlightRecord> {
+        let recs = self.0.flight.lock().unwrap().ordered();
+        recs.into_iter().map(|r| self.resolve_flight(r)).collect()
+    }
+
+    fn resolve_flight(&self, r: FlightRec) -> FlightRecord {
+        FlightRecord {
+            at: r.at,
+            seq: r.seq,
+            node: self.node_name(r.node),
+            kind: r.kind.to_string(),
+            tag: r.tag.to_string(),
+            peer: self.node_name(r.peer),
+            a: r.a,
+            b: r.b,
+        }
     }
 
     /// Captures everything into a plain, comparable [`Snapshot`].
@@ -347,13 +674,51 @@ impl Registry {
             .iter()
             .map(|(k, v)| (k.to_string(), v.snapshot()))
             .collect();
-        let ring = self.0.spans.lock().unwrap();
+        let (spans_total, spans) = {
+            let ring = self.0.spans.lock().unwrap();
+            let spans = ring
+                .ordered()
+                .into_iter()
+                .map(|r| SpanRecord {
+                    name: r.name.to_string(),
+                    start: r.start,
+                    end: r.end,
+                    seq: r.seq,
+                })
+                .collect();
+            (ring.total, spans)
+        };
+        let (trace_spans_total, trace_recs) = {
+            let ring = self.0.traces.lock().unwrap();
+            (ring.total, ring.ordered())
+        };
+        let trace_spans = trace_recs
+            .into_iter()
+            .map(|r| TraceSpan {
+                trace: r.trace,
+                parent: r.parent,
+                stage: r.stage.to_string(),
+                node: self.node_name(r.node),
+                start: r.start,
+                end: r.end,
+                seq: r.seq,
+            })
+            .collect();
+        let (flight_total, flight_recs) = {
+            let ring = self.0.flight.lock().unwrap();
+            (ring.total, ring.ordered())
+        };
+        let flight = flight_recs.into_iter().map(|r| self.resolve_flight(r)).collect();
         Snapshot {
             counters,
             gauges,
             histograms,
-            spans_total: ring.total,
-            spans: ring.ordered(),
+            spans_total,
+            spans,
+            trace_spans_total,
+            trace_spans,
+            flight_total,
+            flight,
         }
     }
 
@@ -364,7 +729,7 @@ impl Registry {
 }
 
 /// One histogram's state inside a [`Snapshot`].
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct HistogramSnapshot {
     /// Inclusive upper bounds, one per non-overflow bucket.
     pub bounds: Vec<u64>,
@@ -391,6 +756,74 @@ pub struct Snapshot {
     pub spans_total: u64,
     /// Retained spans, oldest first.
     pub spans: Vec<SpanRecord>,
+    /// Total trace stage spans ever recorded.
+    pub trace_spans_total: u64,
+    /// Retained trace stage spans, oldest first.
+    pub trace_spans: Vec<TraceSpan>,
+    /// Total flight-recorder events ever recorded.
+    pub flight_total: u64,
+    /// Retained flight-recorder events, causally ordered.
+    pub flight: Vec<FlightRecord>,
+}
+
+/// The difference between two [`Snapshot`]s, as produced by
+/// [`Snapshot::diff`]: every metric whose value differs, as
+/// `(name, self, other)` (missing counts as 0).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SnapshotDiff {
+    /// Counters that differ.
+    pub counters: Vec<(String, u64, u64)>,
+    /// Gauges that differ.
+    pub gauges: Vec<(String, u64, u64)>,
+    /// Histograms whose observation *count* differs.
+    pub histogram_counts: Vec<(String, u64, u64)>,
+}
+
+impl SnapshotDiff {
+    /// True when nothing differs.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histogram_counts.is_empty()
+    }
+
+    /// Multi-line human rendering (`kind name: a vs b`), empty string
+    /// when nothing differs.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (kind, rows) in [
+            ("counter", &self.counters),
+            ("gauge", &self.gauges),
+            ("histogram", &self.histogram_counts),
+        ] {
+            for (name, a, b) in rows {
+                let _ = writeln!(out, "    {kind} {name}: {a} vs {b}");
+            }
+        }
+        out
+    }
+}
+
+fn diff_maps<'a, I, J>(a: I, b: J) -> Vec<(String, u64, u64)>
+where
+    I: Iterator<Item = (&'a String, u64)>,
+    J: Iterator<Item = (&'a String, u64)>,
+{
+    let a: BTreeMap<&String, u64> = a.collect();
+    let b: BTreeMap<&String, u64> = b.collect();
+    let mut names: Vec<&String> = a.keys().copied().collect();
+    for k in b.keys() {
+        if !a.contains_key(*k) {
+            names.push(k);
+        }
+    }
+    names.sort();
+    names
+        .into_iter()
+        .filter_map(|name| {
+            let x = a.get(name).copied().unwrap_or(0);
+            let y = b.get(name).copied().unwrap_or(0);
+            (x != y).then(|| (name.clone(), x, y))
+        })
+        .collect()
 }
 
 impl Snapshot {
@@ -428,30 +861,70 @@ impl Snapshot {
                 r.seq
             );
         });
+        let _ = write!(
+            s,
+            "],\n  \"trace_spans_total\": {},\n  \"trace_spans\": [",
+            self.trace_spans_total
+        );
+        join_map(&mut s, self.trace_spans.iter(), |s, r| {
+            let _ = write!(
+                s,
+                "{{\"trace\": {}, \"parent\": {}, \"stage\": \"{}\", \"node\": \"{}\", \
+                 \"start\": {}, \"end\": {}, \"seq\": {}}}",
+                r.trace,
+                r.parent,
+                escape(&r.stage),
+                escape(&r.node),
+                r.start,
+                r.end,
+                r.seq
+            );
+        });
+        let _ = write!(s, "],\n  \"flight_total\": {},\n  \"flight\": [", self.flight_total);
+        join_map(&mut s, self.flight.iter(), |s, r| {
+            let _ = write!(
+                s,
+                "{{\"at\": {}, \"seq\": {}, \"node\": \"{}\", \"kind\": \"{}\", \
+                 \"tag\": \"{}\", \"peer\": \"{}\", \"a\": {}, \"b\": {}}}",
+                r.at,
+                r.seq,
+                escape(&r.node),
+                escape(&r.kind),
+                escape(&r.tag),
+                escape(&r.peer),
+                r.a,
+                r.b
+            );
+        });
         s.push_str("]\n}\n");
         s
     }
 
     /// Counter-by-counter difference against `other`: every name whose
     /// value differs (missing counts as 0), as `(name, self, other)`.
-    /// The chaos sweeper uses this to show what a failing seed did
-    /// differently from the last passing one.
     pub fn diff_counters(&self, other: &Snapshot) -> Vec<(String, u64, u64)> {
-        let mut names: Vec<&String> = self.counters.keys().collect();
-        for k in other.counters.keys() {
-            if !self.counters.contains_key(k) {
-                names.push(k);
-            }
+        diff_maps(
+            self.counters.iter().map(|(k, v)| (k, *v)),
+            other.counters.iter().map(|(k, v)| (k, *v)),
+        )
+    }
+
+    /// Full difference against `other`: counters, gauges, and
+    /// histogram observation counts. The chaos sweeper prints this on
+    /// invariant violations to show what a failing seed did differently
+    /// from the last passing one.
+    pub fn diff(&self, other: &Snapshot) -> SnapshotDiff {
+        SnapshotDiff {
+            counters: self.diff_counters(other),
+            gauges: diff_maps(
+                self.gauges.iter().map(|(k, v)| (k, *v)),
+                other.gauges.iter().map(|(k, v)| (k, *v)),
+            ),
+            histogram_counts: diff_maps(
+                self.histograms.iter().map(|(k, h)| (k, h.count)),
+                other.histograms.iter().map(|(k, h)| (k, h.count)),
+            ),
         }
-        names.sort();
-        names
-            .into_iter()
-            .filter_map(|name| {
-                let a = self.counters.get(name).copied().unwrap_or(0);
-                let b = other.counters.get(name).copied().unwrap_or(0);
-                (a != b).then(|| (name.clone(), a, b))
-            })
-            .collect()
     }
 }
 
@@ -537,6 +1010,15 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "first registration wins")]
+    fn histogram_bounds_mismatch_is_detected() {
+        let reg = Registry::new();
+        let _ = reg.histogram("h", &[10, 20]);
+        let _ = reg.histogram("h", &[10, 30]);
+    }
+
+    #[test]
     fn span_ring_wraparound() {
         let reg = Registry::with_span_capacity(3);
         for i in 0..5u64 {
@@ -554,6 +1036,31 @@ mod tests {
             vec![20, 30, 40]
         );
         assert!(snap.spans.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+
+    #[test]
+    fn span_exit_behavior_unchanged_by_static_ring_names() {
+        // Satellite check: the ring stores `&'static str`; the snapshot
+        // still exposes owned names with identical content/ordering.
+        let reg = Registry::with_span_capacity(2);
+        reg.set_now(5);
+        let a = reg.span_enter("first");
+        reg.set_now(7);
+        reg.span_exit(a);
+        let b = reg.span_enter("second");
+        reg.set_now(9);
+        reg.span_exit(b);
+        let snap = reg.snapshot();
+        assert_eq!(snap.spans_total, 2);
+        assert_eq!(
+            snap.spans.iter().map(|s| s.name.as_str()).collect::<Vec<_>>(),
+            vec!["first", "second"]
+        );
+        assert_eq!(snap.spans[0].start, 5);
+        assert_eq!(snap.spans[0].end, 7);
+        assert_eq!(snap.spans[1].start, 7);
+        assert_eq!(snap.spans[1].end, 9);
+        assert!(snap.spans[0].seq < snap.spans[1].seq);
     }
 
     #[test]
@@ -586,6 +1093,11 @@ mod tests {
             reg.set_now(42);
             let t = reg.span_enter("op");
             reg.span_exit(t);
+            let n = reg.node_ref("n0");
+            let tr = reg.mint_trace();
+            let tok = reg.trace_enter(tr, SpanId::NONE, "request", n);
+            reg.trace_exit(tok);
+            reg.flight(n, "send", "append_entries", Some(n), 1, 2);
             reg.to_json()
         };
         let a = build();
@@ -594,6 +1106,8 @@ mod tests {
         // Sorted key order regardless of registration order.
         assert!(a.find("a.first").unwrap() < a.find("b.second").unwrap());
         assert!(a.contains("\"spans_total\": 1"));
+        assert!(a.contains("\"trace_spans_total\": 1"));
+        assert!(a.contains("\"flight_total\": 1"));
     }
 
     #[test]
@@ -615,6 +1129,88 @@ mod tests {
                 ("only_b".to_string(), 0, 2),
             ]
         );
+    }
+
+    #[test]
+    fn full_diff_covers_gauges_and_histograms() {
+        let a = Registry::new();
+        a.counter("c").inc();
+        a.gauge("g").set(4);
+        a.histogram("h", &[10]).observe(1);
+        a.histogram("h", &[10]).observe(2);
+        let b = Registry::new();
+        b.counter("c").inc();
+        b.gauge("g").set(9);
+        b.histogram("h", &[10]).observe(1);
+        let d = a.snapshot().diff(&b.snapshot());
+        assert!(d.counters.is_empty());
+        assert_eq!(d.gauges, vec![("g".to_string(), 4, 9)]);
+        assert_eq!(d.histogram_counts, vec![("h".to_string(), 2, 1)]);
+        assert!(!d.is_empty());
+        assert!(d.render().contains("gauge g: 4 vs 9"));
+        let same = a.snapshot().diff(&a.snapshot());
+        assert!(same.is_empty());
+        assert_eq!(same.render(), "");
+    }
+
+    #[test]
+    fn trace_spans_record_stage_node_and_parent() {
+        let reg = Registry::new();
+        let n0 = reg.node_ref("n0");
+        let n1 = reg.node_ref("n1");
+        assert_eq!(reg.node_ref("n0"), n0);
+        let tr = reg.mint_trace();
+        assert_eq!(tr, TraceId(1));
+        reg.set_now(10);
+        let root = reg.trace_enter(tr, SpanId::NONE, "request", n0);
+        let child = reg.trace_enter(tr, root.id(), "append", n1);
+        reg.set_now(15);
+        reg.trace_exit(child);
+        let root_id = reg.trace_exit(root);
+        assert_eq!(root_id, root.id());
+        let snap = reg.snapshot();
+        assert_eq!(snap.trace_spans.len(), 2);
+        let child_span = &snap.trace_spans[0];
+        assert_eq!(child_span.stage, "append");
+        assert_eq!(child_span.node, "n1");
+        assert_eq!(child_span.parent, root.id().0);
+        assert_eq!(child_span.start, 10);
+        assert_eq!(child_span.end, 15);
+        let root_span = &snap.trace_spans[1];
+        assert_eq!(root_span.parent, 0);
+        assert_eq!(root_span.node, "n0");
+    }
+
+    #[test]
+    fn none_trace_tokens_are_inert() {
+        let reg = Registry::new();
+        let n = reg.node_ref("n0");
+        let tok = reg.trace_enter(TraceId::NONE, SpanId::NONE, "request", n);
+        assert_eq!(reg.trace_exit(tok), SpanId::NONE);
+        assert_eq!(reg.trace_mark(TraceId::NONE, SpanId::NONE, "commit", n), SpanId::NONE);
+        let snap = reg.snapshot();
+        assert_eq!(snap.trace_spans_total, 0);
+        assert!(snap.trace_spans.is_empty());
+    }
+
+    #[test]
+    fn flight_recorder_is_bounded_and_causally_ordered() {
+        let reg = Registry::with_capacities(8, 8, 3);
+        let n0 = reg.node_ref("n0");
+        let n1 = reg.node_ref("n1");
+        for i in 0..5u64 {
+            reg.set_now(i);
+            reg.flight(n0, "send", "append_entries", Some(n1), 1, i);
+        }
+        let recs = reg.flight_records();
+        assert_eq!(recs.len(), 3);
+        assert!(recs.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert_eq!(recs.last().unwrap().b, 4);
+        let snap = reg.snapshot();
+        assert_eq!(snap.flight_total, 5);
+        assert_eq!(snap.flight, recs);
+        let line = recs[0].render();
+        assert!(line.contains("n0 -> n1 send append_entries"), "{line}");
     }
 
     #[test]

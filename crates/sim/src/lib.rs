@@ -98,6 +98,12 @@ pub struct SimNet<M> {
     /// Mirrors of `sent`/`dropped` in an attached observability registry
     /// (`net.messages_sent` / `net.messages_dropped`), if any.
     metrics: Option<(ccf_obs::Counter, ccf_obs::Counter)>,
+    /// The attached registry itself, for flight-recorder events.
+    reg: Option<ccf_obs::Registry>,
+    /// Classifies messages into short static tags ("append_entries",
+    /// "request_vote", …) for the flight recorder. A plain `fn` pointer
+    /// keeps the simulator dependency-free and `SimNet` comparable.
+    tagger: Option<fn(&M) -> &'static str>,
 }
 
 impl<M: Eq + Clone> SimNet<M> {
@@ -116,6 +122,8 @@ impl<M: Eq + Clone> SimNet<M> {
             sent: 0,
             dropped: 0,
             metrics: None,
+            reg: None,
+            tagger: None,
         }
     }
 
@@ -125,6 +133,25 @@ impl<M: Eq + Clone> SimNet<M> {
     /// on.
     pub fn set_registry(&mut self, reg: &ccf_obs::Registry) {
         self.metrics = Some((reg.counter("net.messages_sent"), reg.counter("net.messages_dropped")));
+        self.reg = Some(reg.clone());
+    }
+
+    /// Enables flight-recorder events for network activity: every
+    /// send/drop/recv is logged to the attached registry's bounded flight
+    /// ring, tagged by `tagger` (e.g. `Message::kind`). Requires
+    /// [`SimNet::set_registry`]; without a tagger, no net events are
+    /// recorded (protocol layers still record their own).
+    pub fn set_flight_tagger(&mut self, tagger: fn(&M) -> &'static str) {
+        self.tagger = Some(tagger);
+    }
+
+    /// Records a net flight event if a registry and tagger are attached.
+    fn flight(&self, kind: &'static str, from: &NodeId, to: &NodeId, msg: &M, at: Time) {
+        if let (Some(reg), Some(tagger)) = (&self.reg, self.tagger) {
+            let f = reg.node_ref(from);
+            let t = reg.node_ref(to);
+            reg.flight(f, kind, tagger(msg), Some(t), at, 0);
+        }
     }
 
     fn count_sent(&mut self) {
@@ -190,16 +217,20 @@ impl<M: Eq + Clone> SimNet<M> {
     /// Sends `msg` from `from` to `to`, subject to faults and latency.
     pub fn send(&mut self, from: &NodeId, to: &NodeId, msg: M) {
         self.count_sent();
+        self.flight("send", from, to, &msg, self.now);
         if self.crashed.contains(from) || self.crashed.contains(to) {
             self.count_dropped();
+            self.flight("drop", from, to, &msg, self.now);
             return;
         }
         if !self.can_communicate(from, to) {
             self.count_dropped();
+            self.flight("drop", from, to, &msg, self.now);
             return;
         }
         if self.cfg.drop_probability > 0.0 && self.rng.gen_bool(self.cfg.drop_probability) {
             self.count_dropped();
+            self.flight("drop", from, to, &msg, self.now);
             return;
         }
         let (lo, hi) = self.cfg.latency;
@@ -243,8 +274,10 @@ impl<M: Eq + Clone> SimNet<M> {
             let Reverse(s) = self.queue.pop().unwrap();
             if self.undeliverable(&s.to, &s.from) {
                 self.count_dropped();
+                self.flight("drop", &s.from, &s.to, &s.msg, s.deliver_at);
                 continue;
             }
+            self.flight("recv", &s.from, &s.to, &s.msg, s.deliver_at);
             out.push(Delivery { at: s.deliver_at, from: s.from, to: s.to, msg: s.msg });
         }
         out
@@ -324,8 +357,9 @@ impl<M: Eq + Clone> SimNet<M> {
             if !self.undeliverable(&head.to, &head.from) {
                 return Some(head.deliver_at);
             }
-            self.queue.pop();
+            let Reverse(s) = self.queue.pop().unwrap();
             self.count_dropped();
+            self.flight("drop", &s.from, &s.to, &s.msg, s.deliver_at);
         }
         None
     }

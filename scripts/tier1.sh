@@ -25,6 +25,13 @@ cargo run -q --release -p ccf-bench --bin chaos -- --seeds 25
 echo "== tier1: symmetric fast-path smoke (fast == reference, emits JSON)"
 cargo run -q --release -p ccf-bench --bin bench_symmetric -- --smoke
 
+echo "== tier1: trace determinism (two same-seed bench_latency runs, byte-identical)"
+cargo run -q --release -p ccf-bench --bin bench_latency -- --smoke > /dev/null
+cp OBS_latency.json OBS_latency.first.json
+cargo run -q --release -p ccf-bench --bin bench_latency -- --smoke > /dev/null
+cmp OBS_latency.json OBS_latency.first.json
+rm -f OBS_latency.first.json
+
 echo "== tier1: clippy -D warnings (touched crates)"
 cargo clippy -q -p ccf-crypto -p ccf-ledger -p ccf-sim -p ccf-obs -p ccf-consensus -p ccf-core -p ccf-bench -- -D warnings
 
